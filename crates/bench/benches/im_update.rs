@@ -1,0 +1,56 @@
+//! Criterion bench: idleness-model hourly update cost.
+//!
+//! The paper stresses that the IM update + weight learning "can be set to
+//! not incur any overhead in the consolidation system"; this bench pins
+//! the per-hour cost (nanoseconds per VM-hour) with learning on and off,
+//! plus the cost of one IP query.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dds_idleness::{IdlenessModel, ImConfig};
+use dds_sim_core::time::CalendarStamp;
+use dds_sim_core::SimRng;
+
+fn trained_model(learning: bool) -> IdlenessModel {
+    let mut cfg = ImConfig::paper_default();
+    if !learning {
+        cfg.learning_rate = 0.0;
+    }
+    let mut m = IdlenessModel::new(cfg);
+    let mut rng = SimRng::new(3);
+    for h in 0..24 * 30u64 {
+        let level = if rng.chance(0.2) { rng.unit() } else { 0.0 };
+        m.observe_hour(CalendarStamp::from_hour_index(h), level);
+    }
+    m
+}
+
+fn bench_im(c: &mut Criterion) {
+    let mut g = c.benchmark_group("im_update");
+    for (label, learning) in [("with_learning", true), ("frozen_weights", false)] {
+        g.bench_function(label, |b| {
+            let model = trained_model(learning);
+            let mut hour = 24 * 30u64;
+            b.iter_batched(
+                || model.clone(),
+                |mut m| {
+                    hour += 1;
+                    m.observe_hour(
+                        CalendarStamp::from_hour_index(hour),
+                        if hour.is_multiple_of(5) { 0.6 } else { 0.0 },
+                    );
+                    m
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.bench_function("ip_query", |b| {
+        let model = trained_model(true);
+        let stamp = CalendarStamp::from_hour_index(24 * 31);
+        b.iter(|| std::hint::black_box(model.probability(stamp)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_im);
+criterion_main!(benches);

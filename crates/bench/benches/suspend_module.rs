@@ -1,0 +1,42 @@
+//! Criterion bench: suspending-module decision latency vs host scale
+//! (process-table size and timer-tree size) — the "negligible overhead"
+//! claim of §VI.A.4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_hostos::{Blacklist, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerWheel};
+use dds_sim_core::SimTime;
+
+fn build_host(n: usize) -> (ProcessTable, TimerWheel, Blacklist) {
+    let mut procs = ProcessTable::new();
+    let mut timers = TimerWheel::new();
+    for i in 0..n {
+        let pid = procs.spawn(format!("proc{i}"), ProcState::Sleeping { wake: None });
+        timers.register(SimTime::from_secs(3_600 + i as u64), pid, "t");
+    }
+    (procs, timers, Blacklist::standard())
+}
+
+fn bench_suspend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suspend_module");
+    for &n in &[16usize, 256, 4_096] {
+        let (procs, timers, bl) = build_host(n);
+        g.bench_with_input(BenchmarkId::new("decide", n), &n, |b, _| {
+            let mut module = SuspendModule::new(SuspendConfig::without_grace());
+            b.iter(|| {
+                std::hint::black_box(module.decide(
+                    SimTime::from_secs(60),
+                    &procs,
+                    &bl,
+                    &timers,
+                ))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("timer_walk", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(timers.earliest_valid(&procs, &bl)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_suspend);
+criterion_main!(benches);

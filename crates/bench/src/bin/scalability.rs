@@ -1,0 +1,125 @@
+//! §VII — scalability of the placement algorithm.
+//!
+//! "[Drowsy-DC's] algorithm is more general because it is not limited to
+//! checking pairs of VMs, and is more scalable (Drowsy-DC's complexity is
+//! O(n), compared to O(n²) for the other system, with n the number of
+//! VMs)."
+//!
+//! This binary times one full planning round of the Drowsy-DC planner
+//! against the pairwise VM-multiplexing baseline at growing VM counts and
+//! fits the growth exponents (log–log slope between consecutive sizes).
+
+use dds_bench::ExpOptions;
+use dds_placement::{
+    ClusterState, DrowsyConfig, DrowsyPlanner, HistoryBook, HostState, MultiplexPlanner, VmState,
+};
+use dds_sim_core::stats::TextTable;
+use dds_sim_core::{HostId, SimRng, VmId};
+use std::time::Instant;
+
+fn build_state(n_vms: usize, rng: &mut SimRng) -> (ClusterState, HistoryBook) {
+    let vms_per_host = 4;
+    let n_hosts = n_vms.div_ceil(vms_per_host);
+    let mut hosts = Vec::with_capacity(n_hosts);
+    let mut hist = HistoryBook::new(24);
+    for h in 0..n_hosts {
+        let mut vms = Vec::new();
+        for k in 0..vms_per_host {
+            let i = h * vms_per_host + k;
+            if i >= n_vms {
+                break;
+            }
+            let id = VmId(i as u32);
+            vms.push(VmState {
+                id,
+                vcpus: 2.0,
+                ram_mb: 4_096,
+                cpu_demand: rng.uniform(1.4, 2.4), // hosts in the normal band:
+                // neither under- nor overloaded, so the planner cost is
+                // the algorithm-specific layer (§VII's comparison)
+                ip_score: rng.uniform(-0.02, 0.02),
+            });
+            for _ in 0..24 {
+                hist.push(id, rng.uniform(0.0, 2.0));
+            }
+        }
+        hosts.push(HostState {
+            id: HostId(h as u32),
+            cpu_capacity: 16.0,
+            ram_capacity: 65_536,
+            max_vms: 0,
+            vms,
+        });
+    }
+    (ClusterState::new(hosts), hist)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let sizes: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 512, 1024, 2048]
+    };
+    let drowsy = DrowsyPlanner::new(DrowsyConfig::paper_default());
+    let multiplex = MultiplexPlanner::new(0.5);
+    let mut rng = SimRng::new(opts.seed);
+
+    println!("§VII — placement scalability (one planning round)\n");
+    let mut table = TextTable::new(vec![
+        "VMs",
+        "Drowsy-DC ms",
+        "Multiplex ms",
+        "ratio",
+    ]);
+    let mut csv = String::from("n,drowsy_ms,multiplex_ms\n");
+    let mut prev: Option<(usize, f64, f64)> = None;
+    let mut slopes = Vec::new();
+    for &n in sizes {
+        let (state, hist) = build_state(n, &mut rng);
+        let host_hist = Default::default();
+        let reps = if n <= 256 { 20 } else { 5 };
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let plan = drowsy.plan(&state, &hist, &host_hist, &mut rng);
+            std::hint::black_box(&plan);
+        }
+        let drowsy_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let plan = multiplex.plan(&state, &hist);
+            std::hint::black_box(&plan);
+        }
+        let mult_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+        table.row(vec![
+            n.to_string(),
+            format!("{drowsy_ms:.3}"),
+            format!("{mult_ms:.3}"),
+            format!("{:.1}x", mult_ms / drowsy_ms.max(1e-9)),
+        ]);
+        csv.push_str(&format!("{n},{drowsy_ms:.4},{mult_ms:.4}\n"));
+        if let Some((pn, pd, pm)) = prev {
+            let k = (n as f64 / pn as f64).ln();
+            slopes.push((
+                (drowsy_ms / pd).ln() / k,
+                (mult_ms / pm).ln() / k,
+            ));
+        }
+        prev = Some((n, drowsy_ms, mult_ms));
+    }
+    println!("{}", table.render());
+    opts.write_csv("scalability.csv", &csv);
+    if !slopes.is_empty() {
+        let (ds, ms): (Vec<f64>, Vec<f64>) = slopes.into_iter().unzip();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "fitted growth exponents: Drowsy-DC ≈ n^{:.2}, Multiplex ≈ n^{:.2}",
+            avg(&ds),
+            avg(&ms)
+        );
+        println!("paper claim: O(n) vs O(n²)");
+    }
+}

@@ -1,0 +1,91 @@
+//! §VI.B — cluster-scale simulation: energy vs the LLMI fraction.
+//!
+//! The paper simulates Drowsy-DC in CloudSim against Neat and Oasis with
+//! Google (LLMU) and Nutanix (LLMI) traces and reports: "Depending on the
+//! fraction of LLMI VMs in the DC, our system may improve up to 82 % upon
+//! vanilla OpenStack Neat. Also, our solution outperforms Oasis […] by an
+//! average of 81 %." The figure itself is on a page missing from the
+//! available scan; this sweep reconstructs it: total energy per algorithm
+//! as the LLMI share grows from 0 to 100 %.
+//!
+//! Improvement definitions follow the paper's framing: savings are
+//! measured on the *suspendable* portion of the fleet's energy, i.e.
+//! against the vanilla always-on Neat deployment.
+
+use dds_bench::{pct0, ExpOptions};
+use dds_core::cluster::{run_cluster, ClusterSpec};
+use dds_core::datacenter::Algorithm;
+use dds_sim_core::stats::TextTable;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let algorithms = [
+        Algorithm::NeatNoSuspend,
+        Algorithm::NeatSuspend,
+        Algorithm::Oasis,
+        Algorithm::DrowsyDc,
+    ];
+
+    let mk_spec = |llmi: f64| {
+        let mut spec = ClusterSpec::paper_default(llmi);
+        if opts.quick {
+            spec.hosts = 8;
+            spec.vms = 32;
+            spec.days = 4;
+        }
+        spec
+    };
+    let probe = mk_spec(0.5);
+    println!(
+        "§VI.B — LLMI-fraction sweep ({} hosts, {} VMs, {} days)\n",
+        probe.hosts, probe.vms, probe.days
+    );
+
+    let mut table = TextTable::new(vec![
+        "LLMI %",
+        "Neat kWh",
+        "Neat+S3 kWh",
+        "Oasis kWh",
+        "Drowsy kWh",
+        "vs Neat",
+        "vs Neat+S3",
+        "vs Oasis",
+    ]);
+    let mut csv = String::from(
+        "llmi_fraction,neat_kwh,neat_s3_kwh,oasis_kwh,drowsy_kwh,drowsy_susp\n",
+    );
+    for &llmi in &fractions {
+        let spec = mk_spec(llmi);
+        let mut kwh = std::collections::HashMap::new();
+        let mut susp = 0.0;
+        for alg in algorithms {
+            let out = run_cluster(&spec, alg, opts.seed);
+            if alg == Algorithm::DrowsyDc {
+                susp = out.suspension();
+            }
+            kwh.insert(alg, out.energy_kwh());
+        }
+        let neat = kwh[&Algorithm::NeatNoSuspend];
+        let neat_s3 = kwh[&Algorithm::NeatSuspend];
+        let oasis = kwh[&Algorithm::Oasis];
+        let drowsy = kwh[&Algorithm::DrowsyDc];
+        table.row(vec![
+            pct0(llmi),
+            format!("{neat:.1}"),
+            format!("{neat_s3:.1}"),
+            format!("{oasis:.1}"),
+            format!("{drowsy:.1}"),
+            format!("{:+.0}%", (drowsy / neat - 1.0) * 100.0),
+            format!("{:+.0}%", (drowsy / neat_s3 - 1.0) * 100.0),
+            format!("{:+.0}%", (drowsy / oasis - 1.0) * 100.0),
+        ]);
+        csv.push_str(&format!(
+            "{llmi},{neat:.3},{neat_s3:.3},{oasis:.3},{drowsy:.3},{susp:.3}\n"
+        ));
+    }
+    println!("{}", table.render());
+    opts.write_csv("sim_llmi_sweep.csv", &csv);
+    println!("paper: improvement over vanilla Neat grows with the LLMI share, up to 81-82 %;");
+    println!("       Drowsy-DC also outperforms Oasis (by 81 % on average in their setup)");
+}

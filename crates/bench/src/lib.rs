@@ -1,0 +1,123 @@
+//! Shared helpers for the Drowsy-DC experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md for the index). They share flag parsing (`--quick`
+//! for CI-speed runs, `--seed N`, `--out DIR`) and CSV emission.
+
+use std::path::{Path, PathBuf};
+
+/// Common command-line options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Shrink the experiment for smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts (`results/` by default).
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args()`.
+    ///
+    /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`.
+    pub fn from_args() -> Self {
+        let mut opts = ExpOptions::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs a u64"));
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out_dir = PathBuf::from(
+                        args.get(i).expect("--out needs a directory").clone(),
+                    );
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Writes a CSV artifact under the output directory, creating it as
+    /// needed; prints the path so runs are self-describing.
+    pub fn write_csv(&self, name: &str, content: &str) {
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => println!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Formats a fraction as `xx.x` percent.
+pub fn pct1(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a fraction as integer percent (paper-table style).
+pub fn pct0(x: f64) -> String {
+    format!("{:.0}", x * 100.0)
+}
+
+/// True when a path exists (test helper).
+pub fn exists(p: &Path) -> bool {
+    p.exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ExpOptions::default();
+        assert!(!o.quick);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct1(0.6634), "66.3");
+        assert_eq!(pct0(0.94), "94");
+    }
+
+    #[test]
+    fn write_csv_creates_artifact() {
+        let dir = std::env::temp_dir().join(format!("dds-bench-test-{}", std::process::id()));
+        let opts = ExpOptions {
+            quick: true,
+            seed: 1,
+            out_dir: dir.clone(),
+        };
+        opts.write_csv("t.csv", "a,b\n1,2\n");
+        assert!(exists(&dir.join("t.csv")));
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(content.starts_with("a,b"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

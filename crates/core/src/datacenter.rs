@@ -1,0 +1,1530 @@
+//! The datacenter model: hosts, VMs, power, suspension, waking and the
+//! hourly control loop.
+//!
+//! The simulation advances in one-hour control periods (the idleness
+//! model's resolution) with sub-hour timing where it matters: suspend
+//! decisions (idle-detection delay + grace time), suspend/resume
+//! transitions (seconds), wake-on-packet offsets and migration transfers.
+//!
+//! ## Modelling choices (also catalogued in DESIGN.md)
+//!
+//! * A host must be awake for the whole part of an hour in which any
+//!   resident VM is active; suspension is only possible in fully idle
+//!   hours. This is conservative for Drowsy-DC (activity inside an hour
+//!   is not compacted) and matches how the paper's suspending module
+//!   behaves under its grace time at hourly activity granularity.
+//! * Timer-driven VMs register their next activity in the host's timer
+//!   wheel; the suspending module forwards the earliest valid timer as
+//!   the waking date, and the waking module resumes the host *ahead of
+//!   time*, so scheduled activity pays no latency (§VI.A.3's backup
+//!   experiment). Interactive VMs wake their host with the first packet
+//!   of the hour and that request pays the residual resume latency.
+//! * A swap (needed on fully packed clusters) is charged as two live
+//!   migrations.
+
+use crate::spec::{HostSpec, VmSpec, WorkloadKind};
+use dds_hostos::{Blacklist, Decision, Pid, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerId, TimerWheel};
+use dds_idleness::{IdlenessModel, ImConfig};
+use dds_net::{HostMac, VmIp, WakingCluster, WakingConfig};
+use dds_placement::{
+    ClusterState, DrowsyConfig, DrowsyPlanner, FilterScheduler, HistoryBook, HostState,
+    NeatConfig, NeatPlanner, OasisConfig, OasisPlanner, VmState,
+};
+use dds_power::{DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, WakeSpeed};
+use dds_sim_core::time::CalendarStamp;
+use dds_sim_core::{HostId, RackId, SimDuration, SimRng, SimTime, VmId};
+use std::collections::{HashMap, HashSet};
+
+/// Which control algorithm manages the datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's system: idleness-aware consolidation + suspension.
+    DrowsyDc,
+    /// OpenStack Neat consolidation with the same suspension machinery
+    /// (grace time fixed, no idleness models).
+    NeatSuspend,
+    /// OpenStack Neat, hosts always powered (the baseline real-world
+    /// deployment the paper bills 40 kWh for).
+    NeatNoSuspend,
+    /// Oasis-style hybrid consolidation via partial VM parking.
+    Oasis,
+}
+
+impl Algorithm {
+    /// Display label used by the experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::DrowsyDc => "Drowsy-DC",
+            Algorithm::NeatSuspend => "Neat+S3",
+            Algorithm::NeatNoSuspend => "Neat",
+            Algorithm::Oasis => "Oasis",
+        }
+    }
+
+    /// True when hosts may enter S3 at all.
+    pub fn suspends(&self) -> bool {
+        !matches!(self, Algorithm::NeatNoSuspend)
+    }
+}
+
+/// Error admitting a new VM into the datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Every host was discarded by the filters (no capacity).
+    NoHostFits,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::NoHostFits => write!(f, "no host passes the placement filters"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Datacenter configuration.
+#[derive(Debug, Clone)]
+pub struct DcConfig {
+    /// Host power model.
+    pub power: HostPowerModel,
+    /// Suspending-module configuration.
+    pub suspend: SuspendConfig,
+    /// Waking-module configuration.
+    pub waking: WakingConfig,
+    /// Resume speed (Drowsy-DC ships the quick-resume path).
+    pub wake_speed: WakeSpeed,
+    /// Idleness-model configuration.
+    pub im: ImConfig,
+    /// Hours between consolidation rounds (1 = the paper's periodic
+    /// full-relocation evaluation mode).
+    pub relocation_period_hours: u64,
+    /// Horizon over which the placement score aggregates the idleness
+    /// model: 1 = the paper's next-hour IP; larger values average the
+    /// next K hours, which stabilizes grouping for phase-shifted
+    /// workloads at the cost of coarser intra-day matching.
+    pub ip_horizon_hours: u64,
+    /// Drowsy planner configuration.
+    pub drowsy: DrowsyConfig,
+    /// Neat planner configuration.
+    pub neat: NeatConfig,
+    /// Working-set fraction parked by Oasis.
+    pub oasis_park_fraction: f64,
+    /// Delay before the suspending module notices a fully idle host
+    /// (its periodic check interval).
+    pub idle_detect_delay: SimDuration,
+    /// Live-migration bandwidth in Gbit/s.
+    pub migration_bandwidth_gbps: f64,
+    /// Hours a VM is pinned after a migration (cooldown honoured by the
+    /// opportunistic pass; prevents hour-chasing churn on phase-shifted
+    /// workloads).
+    pub migration_cooldown_hours: u64,
+    /// Peak request rate of an interactive VM at activity 1.0.
+    pub request_peak_rps: f64,
+    /// Mean request service time (awake host).
+    pub request_service: SimDuration,
+    /// The response-time SLA threshold.
+    pub sla: SimDuration,
+    /// Record the VM×VM colocation matrix (Fig. 2).
+    pub track_colocation: bool,
+    /// Record request latencies (SLA analysis).
+    pub track_sla: bool,
+}
+
+impl DcConfig {
+    /// The testbed configuration of §VI.A.
+    pub fn paper_default() -> Self {
+        DcConfig {
+            power: HostPowerModel::paper_default(),
+            suspend: SuspendConfig::paper_default(),
+            waking: WakingConfig::paper_default(),
+            wake_speed: WakeSpeed::Quick,
+            im: ImConfig::paper_default(),
+            relocation_period_hours: 1,
+            ip_horizon_hours: 1,
+            drowsy: DrowsyConfig::paper_default(),
+            neat: NeatConfig::paper_default(),
+            oasis_park_fraction: 0.10,
+            idle_detect_delay: SimDuration::from_secs(30),
+            migration_bandwidth_gbps: 10.0,
+            migration_cooldown_hours: 8,
+            request_peak_rps: 2.0,
+            request_service: SimDuration::from_millis(60),
+            sla: SimDuration::from_millis(200),
+            track_colocation: true,
+            track_sla: true,
+        }
+    }
+}
+
+struct HostSim {
+    spec: HostSpec,
+    power: PowerStateMachine,
+    meter: EnergyMeter,
+    procs: ProcessTable,
+    timers: TimerWheel,
+    suspend: SuspendModule,
+    /// Hosts that must not suspend (Oasis consolidation servers; every
+    /// host under NeatNoSuspend).
+    always_on: bool,
+    /// Management operations (migrations) pin the host awake until here.
+    forced_awake_until: SimTime,
+}
+
+struct VmSim {
+    spec: VmSpec,
+    im: IdlenessModel,
+    host: HostId,
+    pid: Pid,
+    timer: Option<(TimerId, SimTime)>,
+    migrations: u32,
+    /// Hour index of the last migration (for the cooldown), or None.
+    last_migration_hour: Option<u64>,
+    /// Oasis: working set parked on a consolidation host.
+    parked: bool,
+    /// The VM has been destroyed (SLMU completion, tenant deletion); its
+    /// slot is kept so ids stay dense, but it no longer exists anywhere.
+    departed: bool,
+    /// Oasis: host the VM faults back to.
+    origin: HostId,
+}
+
+/// Aggregate request-latency accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SlaStats {
+    /// Total requests considered.
+    pub total: u64,
+    /// Requests exceeding the SLA threshold.
+    pub over_sla: u64,
+    /// Requests that triggered (or raced) a host wake.
+    pub wake_hits: u64,
+    /// Worst wake-hit latency observed (ms).
+    pub worst_wake_ms: f64,
+    /// Mean non-wake service latency (ms).
+    pub mean_service_ms: f64,
+}
+
+impl SlaStats {
+    /// Fraction of requests within the SLA.
+    pub fn within_sla(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        1.0 - self.over_sla as f64 / self.total as f64
+    }
+}
+
+/// Outcome of a datacenter run.
+#[derive(Debug, Clone)]
+pub struct DcOutcome {
+    /// Algorithm that produced this outcome.
+    pub algorithm: Algorithm,
+    /// Hours simulated.
+    pub hours: u64,
+    /// Per-host suspended-time fraction (Table I rows).
+    pub suspended_fraction: Vec<(HostId, f64)>,
+    /// Global suspended fraction (Table I "Global").
+    pub global_suspended_fraction: f64,
+    /// Total energy in kWh (§VI.A.3).
+    pub energy_kwh: f64,
+    /// Per-VM migration counts (Fig. 2 last column).
+    pub migrations: Vec<(VmId, u32)>,
+    /// Colocation fraction matrix, `coloc[i][j]` = fraction of hours VMs
+    /// i and j shared a host (Fig. 2), when tracked.
+    pub colocation: Vec<Vec<f64>>,
+    /// Request SLA accounting, when tracked.
+    pub sla: SlaStats,
+    /// Suspend cycles per host (oscillation diagnostics).
+    pub suspend_cycles: Vec<(HostId, u64)>,
+}
+
+impl DcOutcome {
+    /// Total migrations across all VMs.
+    pub fn total_migrations(&self) -> u32 {
+        self.migrations.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The simulated datacenter.
+pub struct Datacenter {
+    cfg: DcConfig,
+    algorithm: Algorithm,
+    hosts: Vec<HostSim>,
+    vms: Vec<VmSim>,
+    waking: WakingCluster,
+    blacklist: Blacklist,
+    drowsy: DrowsyPlanner,
+    neat: NeatPlanner,
+    oasis: Option<OasisPlanner>,
+    oasis_consolidation: Option<HostId>,
+    vm_hist: HistoryBook,
+    host_hist: HashMap<HostId, Vec<f64>>,
+    rng: SimRng,
+    hour: u64,
+    coloc_hours: Vec<Vec<u64>>,
+    sla: SlaStats,
+    service_ms_sum: f64,
+    service_ms_count: u64,
+}
+
+const RACK: RackId = RackId(0);
+
+impl Datacenter {
+    /// Builds a datacenter with the given hosts, VMs and initial
+    /// placement (`placement[i]` = host of VM i; must respect capacity).
+    pub fn new(
+        cfg: DcConfig,
+        algorithm: Algorithm,
+        host_specs: Vec<HostSpec>,
+        vm_specs: Vec<VmSpec>,
+        placement: Vec<HostId>,
+        oasis_consolidation_host: Option<HostId>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(vm_specs.len(), placement.len(), "placement covers every VM");
+        let start = SimTime::EPOCH;
+        let blacklist = Blacklist::standard();
+        let mut hosts: Vec<HostSim> = host_specs
+            .into_iter()
+            .map(|spec| {
+                let mut procs = ProcessTable::new();
+                procs.spawn("monitord", ProcState::Running);
+                HostSim {
+                    spec,
+                    power: PowerStateMachine::new(start),
+                    meter: EnergyMeter::new(cfg.power.clone(), start),
+                    procs,
+                    timers: TimerWheel::new(),
+                    suspend: SuspendModule::new(if algorithm == Algorithm::DrowsyDc {
+                        cfg.suspend.clone()
+                    } else {
+                        // Neat/Oasis have no idleness models; the paper
+                        // runs them with the same suspend algorithm minus
+                        // the IP-driven grace.
+                        cfg.suspend.clone()
+                    }),
+                    always_on: !algorithm.suspends(),
+                    forced_awake_until: start,
+                }
+            })
+            .collect();
+        if algorithm == Algorithm::Oasis {
+            if let Some(ch) = oasis_consolidation_host {
+                hosts[ch.index()].always_on = true;
+            }
+        }
+        let vms: Vec<VmSim> = vm_specs
+            .into_iter()
+            .zip(placement.iter())
+            .map(|(spec, &host)| {
+                let pid = hosts[host.index()].procs.spawn_vm_process(
+                    format!("qemu-{}", spec.name),
+                    ProcState::Sleeping { wake: None },
+                    Some(spec.id),
+                );
+                VmSim {
+                    spec,
+                    im: IdlenessModel::new(cfg.im.clone()),
+                    host,
+                    pid,
+                    timer: None,
+                    migrations: 0,
+                    last_migration_hour: None,
+                    parked: false,
+                    departed: false,
+                    origin: host,
+                }
+            })
+            .collect();
+        let n = vms.len();
+        let oasis = if algorithm == Algorithm::Oasis {
+            Some(OasisPlanner::new(OasisConfig {
+                consolidation_hosts: vec![
+                    oasis_consolidation_host.expect("Oasis needs a consolidation host")
+                ],
+                park_fraction: cfg.oasis_park_fraction,
+                // Parking is not instantaneous in Oasis: the working set
+                // is trickled out and short idle gaps are not worth the
+                // round trip. Two idle hours at our resolution.
+                park_after_idle_hours: 2,
+            }))
+        } else {
+            None
+        };
+        Datacenter {
+            drowsy: DrowsyPlanner::new(cfg.drowsy.clone()),
+            neat: NeatPlanner::new(cfg.neat.clone()),
+            oasis,
+            oasis_consolidation: oasis_consolidation_host
+                .filter(|_| algorithm == Algorithm::Oasis),
+            waking: WakingCluster::new(1, cfg.waking, start),
+            blacklist,
+            vm_hist: HistoryBook::new(48),
+            host_hist: HashMap::new(),
+            rng: SimRng::new(seed),
+            hour: 0,
+            coloc_hours: vec![vec![0; n]; n],
+            sla: SlaStats::default(),
+            service_ms_sum: 0.0,
+            service_ms_count: 0,
+            cfg,
+            algorithm,
+            hosts,
+            vms,
+        }
+    }
+
+    /// The current hour index.
+    pub fn hour(&self) -> u64 {
+        self.hour
+    }
+
+    /// Current VM → host assignment (diagnostics).
+    pub fn debug_placement(&self) -> Vec<(VmId, HostId)> {
+        self.vms.iter().map(|v| (v.spec.id, v.host)).collect()
+    }
+
+    /// Admits a new VM through the Nova-style filter scheduler (§III-D(a)):
+    /// filters discard unsuitable hosts, then weighers rank the rest —
+    /// Drowsy-DC adds its IP-proximity weigher so the newcomer lands on
+    /// the host whose idleness pattern best matches its (still
+    /// undetermined) score. Returns the chosen host.
+    ///
+    /// The spec's `id` is overwritten with the next dense id.
+    pub fn admit_vm(&mut self, mut spec: VmSpec) -> Result<HostId, AdmitError> {
+        let h = self.hour;
+        spec.id = VmId(self.vms.len() as u32);
+        let levels: Vec<f64> = self
+            .vms
+            .iter()
+            .map(|v| {
+                if v.departed {
+                    0.0
+                } else {
+                    v.spec.trace.level_at_hour(h)
+                }
+            })
+            .collect();
+        let stamp = CalendarStamp::from_hour_index(h);
+        let scores: Vec<f64> = if self.algorithm == Algorithm::DrowsyDc {
+            self.vms.iter().map(|v| v.im.raw_score(stamp)).collect()
+        } else {
+            vec![0.0; self.vms.len()]
+        };
+        let state = self.cluster_state(&levels, &scores);
+        let candidate = VmState {
+            id: spec.id,
+            vcpus: spec.vcpus,
+            ram_mb: spec.ram_mb,
+            cpu_demand: spec.trace.level_at_hour(h) * spec.vcpus,
+            ip_score: 0.0, // fresh model: undetermined
+        };
+        let scheduler = if self.algorithm == Algorithm::DrowsyDc {
+            FilterScheduler::drowsy_default()
+        } else {
+            FilterScheduler::nova_default()
+        };
+        let dest = scheduler
+            .select(&state, &candidate)
+            .ok_or(AdmitError::NoHostFits)?;
+        // A sleeping destination must be woken to receive the VM.
+        let now = SimTime::from_hours(h);
+        let ready = self.wake_for_management(dest, now);
+        self.hosts[dest.index()].forced_awake_until =
+            self.hosts[dest.index()].forced_awake_until.max(ready);
+        let pid = self.hosts[dest.index()].procs.spawn_vm_process(
+            format!("qemu-{}", spec.name),
+            ProcState::Sleeping { wake: None },
+            Some(spec.id),
+        );
+        self.vms.push(VmSim {
+            im: IdlenessModel::new(self.cfg.im.clone()),
+            host: dest,
+            pid,
+            timer: None,
+            migrations: 0,
+            last_migration_hour: None,
+            parked: false,
+            departed: false,
+            origin: dest,
+            spec,
+        });
+        // Grow the colocation matrix.
+        let n = self.vms.len();
+        for row in &mut self.coloc_hours {
+            row.resize(n, 0);
+        }
+        self.coloc_hours.push(vec![0; n]);
+        Ok(dest)
+    }
+
+    /// Destroys a VM (SLMU completion, tenant deletion). Its host slot,
+    /// process and timers are released immediately; the id remains
+    /// allocated (dense ids) but inert. Returns false for unknown or
+    /// already-departed VMs.
+    pub fn remove_vm(&mut self, vm: VmId) -> bool {
+        let Some(v) = self.vms.get_mut(vm.index()) else {
+            return false;
+        };
+        if v.departed {
+            return false;
+        }
+        v.departed = true;
+        let host = v.host.index();
+        let pid = v.pid;
+        let timer = v.timer.take();
+        self.hosts[host].procs.kill(pid);
+        if let Some((tid, _)) = timer {
+            self.hosts[host].timers.cancel(tid);
+        }
+        self.vm_hist.forget(vm);
+        true
+    }
+
+    /// Number of live (non-departed) VMs.
+    pub fn live_vm_count(&self) -> usize {
+        self.vms.iter().filter(|v| !v.departed).count()
+    }
+
+    /// Fault injection: kills the rack's waking module. The heart-beat
+    /// monitor replaces it from its mirror at the next control period, so
+    /// drowsy-host state (including scheduled waking dates) survives —
+    /// the §V fault-tolerance property, exercised in vivo.
+    pub fn inject_waking_failure(&mut self) {
+        self.waking.inject_failure(RACK);
+        let now = SimTime::from_hours(self.hour);
+        let replaced = self.waking.monitor(now);
+        debug_assert_eq!(replaced.len(), 1);
+    }
+
+    /// Number of waking-module failovers performed so far.
+    pub fn waking_failovers(&self) -> u64 {
+        self.waking.failovers()
+    }
+
+    /// Runs `hours` control periods.
+    pub fn run(&mut self, hours: u64) {
+        for _ in 0..hours {
+            self.step_hour();
+        }
+    }
+
+    fn mac(&self, host: HostId) -> HostMac {
+        HostMac::of(host)
+    }
+
+    fn host_ip_probability(&self, host: HostId) -> f64 {
+        if self.algorithm != Algorithm::DrowsyDc {
+            return 0.5; // no idleness models → neutral grace
+        }
+        let stamp = CalendarStamp::from_hour_index(self.hour);
+        let resident: Vec<&VmSim> = self
+            .vms
+            .iter()
+            .filter(|v| v.host == host && !v.parked && !v.departed)
+            .collect();
+        if resident.is_empty() {
+            return 1.0; // empty host: confidently idle
+        }
+        resident.iter().map(|v| v.im.probability(stamp)).sum::<f64>() / resident.len() as f64
+    }
+
+    /// Builds the placement view for the planners.
+    fn cluster_state(&self, levels: &[f64], scores: &[f64]) -> ClusterState {
+        let mut hosts: Vec<HostState> = self
+            .hosts
+            .iter()
+            .map(|h| HostState {
+                id: h.spec.id,
+                cpu_capacity: h.spec.cpu_cores,
+                ram_capacity: h.spec.ram_mb,
+                max_vms: h.spec.max_vms,
+                vms: Vec::new(),
+            })
+            .collect();
+        for vm in self.vms.iter().filter(|v| !v.departed) {
+            hosts[vm.host.index()].vms.push(VmState {
+                id: vm.spec.id,
+                vcpus: vm.spec.vcpus,
+                ram_mb: vm.spec.ram_mb,
+                cpu_demand: levels[vm.spec.id.index()] * vm.spec.vcpus,
+                ip_score: scores[vm.spec.id.index()],
+            });
+        }
+        let mut state = ClusterState::new(hosts);
+        let cooldown = self.cfg.migration_cooldown_hours;
+        for vm in &self.vms {
+            if let Some(last) = vm.last_migration_hour {
+                if self.hour.saturating_sub(last) < cooldown {
+                    state.freeze(vm.spec.id);
+                }
+            }
+        }
+        state
+    }
+
+    /// Duration of one live migration of `ram_mb` MiB.
+    fn migration_time(&self, ram_mb: u64) -> SimDuration {
+        let bits = ram_mb as f64 * 1024.0 * 1024.0 * 8.0;
+        let secs = bits / (self.cfg.migration_bandwidth_gbps * 1e9);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Wakes a host for a management operation at `now` (no-op if awake).
+    /// Returns the instant the host is operational.
+    fn wake_for_management(&mut self, host: HostId, now: SimTime) -> SimTime {
+        let state = self.hosts[host.index()].power.state();
+        match state {
+            PowerState::Active => now.max(self.hosts[host.index()].meter.cursor()),
+            PowerState::Suspended | PowerState::Off => self.resume_host(host, now),
+            _ => now,
+        }
+    }
+
+    /// Resumes a suspended host starting at `at`; returns completion.
+    fn resume_host(&mut self, host: HostId, at: SimTime) -> SimTime {
+        let latency = self.cfg.power.timings.resume_latency(self.cfg.wake_speed);
+        let ip_prob = self.host_ip_probability(host);
+        let mac = self.mac(host);
+        let h = &mut self.hosts[host.index()];
+        let at = at.max(h.meter.cursor());
+        h.meter.advance(at, h.power.state(), 0.0);
+        let done = h.power.begin_resume(at, latency).expect("resume from low power");
+        h.meter.advance(done, PowerState::Resuming, 0.0);
+        h.power.complete_transition(done).expect("resume completes");
+        h.suspend.on_resume(done, ip_prob);
+        self.waking.on_host_resumed(RACK, mac);
+        done
+    }
+
+    /// Moves a VM between hosts at `now` (already validated by the
+    /// planner). Charges wake + transfer on both ends.
+    fn apply_move(&mut self, vm_id: VmId, to: HostId, now: SimTime) {
+        let from = self.vms[vm_id.index()].host;
+        if from == to {
+            return;
+        }
+        let t0 = self.wake_for_management(from, now);
+        let t1 = self.wake_for_management(to, now);
+        let ready = t0.max(t1);
+        let transfer = self.migration_time(self.vms[vm_id.index()].spec.ram_mb);
+        let done = ready + transfer;
+        self.hosts[from.index()].forced_awake_until =
+            self.hosts[from.index()].forced_awake_until.max(done);
+        self.hosts[to.index()].forced_awake_until =
+            self.hosts[to.index()].forced_awake_until.max(done);
+        // Move the VM process and any pending timer.
+        let pid = self.vms[vm_id.index()].pid;
+        let state = self.hosts[from.index()]
+            .procs
+            .get(pid)
+            .map(|p| p.state)
+            .unwrap_or(ProcState::Sleeping { wake: None });
+        self.hosts[from.index()].procs.kill(pid);
+        let new_pid = self.hosts[to.index()].procs.spawn_vm_process(
+            format!("qemu-{}", self.vms[vm_id.index()].spec.name),
+            state,
+            Some(vm_id),
+        );
+        if let Some((tid, expires)) = self.vms[vm_id.index()].timer.take() {
+            self.hosts[from.index()].timers.cancel(tid);
+            let new_tid = self.hosts[to.index()].timers.register(
+                expires,
+                new_pid,
+                format!("wake-{}", self.vms[vm_id.index()].spec.name),
+            );
+            self.vms[vm_id.index()].timer = Some((new_tid, expires));
+        }
+        self.vms[vm_id.index()].pid = new_pid;
+        self.vms[vm_id.index()].host = to;
+        self.vms[vm_id.index()].migrations += 1;
+        self.vms[vm_id.index()].last_migration_hour = Some(self.hour);
+    }
+
+    /// One control period.
+    pub fn step_hour(&mut self) {
+        let h = self.hour;
+        let stamp = CalendarStamp::from_hour_index(h);
+        let hour_start = SimTime::from_hours(h);
+        let hour_end = SimTime::from_hours(h + 1);
+        let noise = self.cfg.im.noise_threshold;
+
+        // --- activity levels and idleness scores for this hour.
+        let levels: Vec<f64> = self
+            .vms
+            .iter()
+            .map(|v| {
+                if v.departed {
+                    0.0
+                } else {
+                    v.spec.trace.level_at_hour(h)
+                }
+            })
+            .collect();
+        let scores: Vec<f64> = if self.algorithm == Algorithm::DrowsyDc {
+            let horizon = self.cfg.ip_horizon_hours.max(1);
+            self.vms
+                .iter()
+                .map(|v| {
+                    (0..horizon)
+                        .map(|k| v.im.raw_score(CalendarStamp::from_hour_index(h + k)))
+                        .sum::<f64>()
+                        / horizon as f64
+                })
+                .collect()
+        } else {
+            vec![0.0; self.vms.len()]
+        };
+
+        // --- consolidation round.
+        if h.is_multiple_of(self.cfg.relocation_period_hours) {
+            self.consolidate(&levels, &scores, hour_start);
+        }
+
+        // --- process states & timers reflect this hour's activity.
+        self.refresh_processes(&levels, noise, h);
+
+        // --- scheduled wakes due now (waking module fires ahead of time).
+        let anticipated: HashSet<HostId> = self
+            .waking
+            .poll_schedules(hour_start)
+            .into_iter()
+            .map(|cmd| cmd.mac.host())
+            .collect();
+
+        // --- per-host hour simulation.
+        for hid in 0..self.hosts.len() {
+            self.simulate_host_hour(
+                HostId::from_index(hid),
+                &levels,
+                noise,
+                hour_start,
+                hour_end,
+                &anticipated,
+            );
+        }
+
+        // --- colocation bookkeeping.
+        if self.cfg.track_colocation {
+            for i in 0..self.vms.len() {
+                if self.vms[i].departed {
+                    continue;
+                }
+                for j in (i + 1)..self.vms.len() {
+                    if self.vms[j].departed {
+                        continue;
+                    }
+                    if self.vms[i].host == self.vms[j].host {
+                        self.coloc_hours[i][j] += 1;
+                        self.coloc_hours[j][i] += 1;
+                    }
+                }
+                self.coloc_hours[i][i] += 1;
+            }
+        }
+
+        // --- model updates & histories.
+        for (i, vm) in self.vms.iter_mut().enumerate() {
+            if vm.departed {
+                continue;
+            }
+            vm.im.observe_hour(stamp, levels[i]);
+            self.vm_hist.push(vm.spec.id, levels[i] * vm.spec.vcpus);
+        }
+        for host in &self.hosts {
+            let demand: f64 = self
+                .vms
+                .iter()
+                .filter(|v| v.host == host.spec.id && !v.parked && !v.departed)
+                .map(|v| levels[v.spec.id.index()] * v.spec.vcpus)
+                .sum();
+            self.host_hist
+                .entry(host.spec.id)
+                .or_default()
+                .push(demand / host.spec.cpu_cores.max(1e-9));
+        }
+        self.hour += 1;
+    }
+
+    fn consolidate(&mut self, levels: &[f64], scores: &[f64], now: SimTime) {
+        match self.algorithm {
+            Algorithm::DrowsyDc => {
+                let state = self.cluster_state(levels, scores);
+                let plan = self
+                    .drowsy
+                    .plan(&state, &self.vm_hist, &self.host_hist, &mut self.rng);
+                for m in &plan.migrations {
+                    self.apply_move(m.vm, m.to, now);
+                }
+                for s in &plan.swaps {
+                    self.apply_move(s.vm_a, s.host_b, now);
+                    self.apply_move(s.vm_b, s.host_a, now);
+                }
+            }
+            Algorithm::NeatSuspend | Algorithm::NeatNoSuspend => {
+                let state = self.cluster_state(levels, scores);
+                let plan = self
+                    .neat
+                    .plan(&state, &self.vm_hist, &self.host_hist, &mut self.rng);
+                for m in &plan.migrations {
+                    self.apply_move(m.vm, m.to, now);
+                }
+            }
+            Algorithm::Oasis => {
+                // Oasis is *hybrid* consolidation: classic full-migration
+                // packing (Neat) plus partial-migration parking. Run the
+                // packing step first, on a view without the consolidation
+                // host (parked VMs are not packable).
+                let ch = self.oasis_consolidation.expect("consolidation host");
+                let mut neat_state = self.cluster_state(levels, scores);
+                neat_state.hosts.retain(|h| h.id != ch);
+                let plan = self
+                    .neat
+                    .plan(&neat_state, &self.vm_hist, &self.host_hist, &mut self.rng);
+                for m in &plan.migrations {
+                    self.apply_move(m.vm, m.to, now);
+                }
+                // Then the parking pass on the fresh state.
+                let state = self.cluster_state(levels, scores);
+                let plan = self.oasis.as_mut().expect("oasis planner").plan(&state);
+                // Unpark first (frees consolidation capacity), then park.
+                for m in &plan.unpark {
+                    self.apply_move(m.vm, m.to, now);
+                    self.vms[m.vm.index()].parked = false;
+                }
+                for m in &plan.park {
+                    self.vms[m.vm.index()].origin = self.vms[m.vm.index()].host;
+                    self.apply_move(m.vm, m.to, now);
+                    self.vms[m.vm.index()].parked = true;
+                }
+            }
+        }
+    }
+
+    /// Next hour (strictly after `h`) with activity, within one year.
+    fn next_active_hour(trace: &dds_traces::VmTrace, h: u64, noise: f64) -> Option<u64> {
+        (h + 1..h + 1 + 8760).find(|&t| trace.level_at_hour(t) >= noise)
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexes vms, levels and hosts together
+    fn refresh_processes(&mut self, levels: &[f64], noise: f64, h: u64) {
+        for i in 0..self.vms.len() {
+            if self.vms[i].departed {
+                continue;
+            }
+            let active = levels[i] >= noise && !self.vms[i].parked;
+            let host = self.vms[i].host.index();
+            let pid = self.vms[i].pid;
+            let state = if active {
+                ProcState::Running
+            } else {
+                ProcState::Sleeping { wake: None }
+            };
+            self.hosts[host].procs.set_state(pid, state);
+            // Timer-driven VMs expose their next activity as an hrtimer.
+            if self.vms[i].spec.kind == WorkloadKind::TimerDriven && !active {
+                let next = Self::next_active_hour(&self.vms[i].spec.trace, h, noise)
+                    .map(SimTime::from_hours);
+                match (self.vms[i].timer, next) {
+                    (Some((tid, cur)), Some(want)) if cur != want => {
+                        self.hosts[host].timers.cancel(tid);
+                        let tid = self.hosts[host].timers.register(
+                            want,
+                            pid,
+                            format!("wake-{}", self.vms[i].spec.name),
+                        );
+                        self.vms[i].timer = Some((tid, want));
+                    }
+                    (None, Some(want)) => {
+                        let tid = self.hosts[host].timers.register(
+                            want,
+                            pid,
+                            format!("wake-{}", self.vms[i].spec.name),
+                        );
+                        self.vms[i].timer = Some((tid, want));
+                    }
+                    _ => {}
+                }
+            } else if let Some((tid, _)) = self.vms[i].timer.take() {
+                self.hosts[host].timers.cancel(tid);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_host_hour(
+        &mut self,
+        hid: HostId,
+        levels: &[f64],
+        noise: f64,
+        hour_start: SimTime,
+        hour_end: SimTime,
+        anticipated: &HashSet<HostId>,
+    ) {
+        let resident: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.host == hid && !v.parked && !v.departed)
+            .map(|(i, _)| i)
+            .collect();
+        let active = resident.iter().any(|&i| levels[i] >= noise);
+        let demand: f64 = resident
+            .iter()
+            .map(|&i| levels[i] * self.vms[i].spec.vcpus)
+            .sum();
+        let util = demand / self.hosts[hid.index()].spec.cpu_cores.max(1e-9);
+        let state = self.hosts[hid.index()].power.state();
+
+        if active {
+            if state.is_low_power() {
+                // Wake path: anticipated (timer) wakes complete at the
+                // hour start; packet wakes start at the first arrival.
+                let anticipated_wake = anticipated.contains(&hid)
+                    || resident.iter().any(|&i| {
+                        self.vms[i].spec.kind == WorkloadKind::TimerDriven
+                            && levels[i] >= noise
+                    });
+                let wake_at = if anticipated_wake {
+                    hour_start
+                } else {
+                    // First packet offset: exponential with the hour's
+                    // aggregate request rate.
+                    let rate: f64 = resident
+                        .iter()
+                        .filter(|&&i| {
+                            self.vms[i].spec.kind == WorkloadKind::Interactive
+                                && levels[i] >= noise
+                        })
+                        .map(|&i| self.cfg.request_peak_rps * levels[i])
+                        .sum();
+                    let offset = if rate > 0.0 {
+                        SimDuration::from_secs_f64(self.rng.exponential(1.0 / rate))
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    (hour_start + offset).min(hour_end - SimDuration::from_secs(1))
+                };
+                let done = self.resume_host(hid, wake_at);
+                if self.cfg.track_sla && !anticipated_wake {
+                    // The triggering request pays the full resume latency
+                    // plus its service time.
+                    let ms = (done.saturating_since(wake_at)
+                        + self.cfg.request_service)
+                        .as_millis() as f64;
+                    self.sla.total += 1;
+                    self.sla.wake_hits += 1;
+                    if ms > self.cfg.sla.as_millis() as f64 {
+                        self.sla.over_sla += 1;
+                    }
+                    self.sla.worst_wake_ms = self.sla.worst_wake_ms.max(ms);
+                }
+                debug_assert!(done <= hour_end);
+            }
+            let h = &mut self.hosts[hid.index()];
+            h.meter.advance(hour_end, PowerState::Active, util);
+            if self.cfg.track_sla {
+                self.record_service_requests(&resident, levels, noise);
+            }
+        } else {
+            // Fully idle hour.
+            if state.is_low_power() {
+                let h = &mut self.hosts[hid.index()];
+                h.meter.advance(hour_end, PowerState::Suspended, 0.0);
+                return;
+            }
+            if self.hosts[hid.index()].always_on {
+                let h = &mut self.hosts[hid.index()];
+                h.meter.advance(hour_end, PowerState::Active, util);
+                return;
+            }
+            // Candidate suspend instant: idle detection + management pin.
+            let mut t = (hour_start + self.cfg.idle_detect_delay)
+                .max(self.hosts[hid.index()].forced_awake_until)
+                .max(self.hosts[hid.index()].meter.cursor());
+            let suspend_latency = self.cfg.power.timings.suspend_latency;
+            loop {
+                if t + suspend_latency >= hour_end {
+                    // Not enough idle time left: stay awake.
+                    let h = &mut self.hosts[hid.index()];
+                    h.meter.advance(hour_end, PowerState::Active, util);
+                    return;
+                }
+                let host = &mut self.hosts[hid.index()];
+                let decision =
+                    host.suspend
+                        .decide(t, &host.procs, &self.blacklist, &host.timers);
+                match decision {
+                    Decision::Suspend { waking_date } => {
+                        host.meter.advance(t, PowerState::Active, util);
+                        let done = host
+                            .power
+                            .begin_suspend(t, suspend_latency)
+                            .expect("suspend from active");
+                        host.meter.advance(done, PowerState::Suspending, 0.0);
+                        host.power.complete_transition(done).expect("suspend done");
+                        host.meter.advance(hour_end, PowerState::Suspended, 0.0);
+                        host.meter.record_suspend_cycle();
+                        // Register with the waking module.
+                        let vms: Vec<(VmIp, VmId)> = self
+                            .vms
+                            .iter()
+                            .filter(|v| v.host == hid && !v.parked && !v.departed)
+                            .map(|v| (VmIp::of(v.spec.id), v.spec.id))
+                            .collect();
+                        let mac = HostMac::of(hid);
+                        self.waking
+                            .register_suspension(RACK, mac, vms, waking_date);
+                        return;
+                    }
+                    Decision::StayAwake(dds_hostos::suspend::StayAwakeReason::GraceActive {
+                        until,
+                    }) => {
+                        t = until.max(t + SimDuration::from_secs(1));
+                    }
+                    Decision::StayAwake(_) => {
+                        // Blocked by process state (e.g. monitoring noise
+                        // beyond the blacklist): stay awake this hour.
+                        let h = &mut self.hosts[hid.index()];
+                        h.meter.advance(hour_end, PowerState::Active, util);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records non-wake request latencies for active interactive VMs.
+    fn record_service_requests(&mut self, resident: &[usize], levels: &[f64], noise: f64) {
+        for &i in resident {
+            if self.vms[i].spec.kind != WorkloadKind::Interactive || levels[i] < noise {
+                continue;
+            }
+            let rate = self.cfg.request_peak_rps * levels[i];
+            let expected = rate * 3600.0;
+            let count = self.rng.poisson(expected);
+            let mean = self.cfg.request_service.as_millis() as f64;
+            // Sample a bounded number of service times; account the rest
+            // at the mean (they are far below the SLA either way).
+            let samples = count.min(64);
+            let mut over = 0u64;
+            for _ in 0..samples {
+                let ms = self.rng.normal(mean, mean / 2.0).clamp(1.0, mean * 6.0);
+                if ms > self.cfg.sla.as_millis() as f64 {
+                    over += 1;
+                }
+                self.service_ms_sum += ms;
+                self.service_ms_count += 1;
+            }
+            if samples > 0 {
+                // Scale the sampled over-SLA ratio to the full count.
+                over = ((over as f64 / samples as f64) * count as f64).round() as u64;
+            }
+            self.sla.total += count;
+            self.sla.over_sla += over;
+        }
+    }
+
+    /// Finishes the run (flushes meters) and produces the outcome.
+    pub fn finish(mut self) -> DcOutcome {
+        let end = SimTime::from_hours(self.hour);
+        for h in &mut self.hosts {
+            let state = h.power.state();
+            h.meter.advance(end, state, 0.0);
+        }
+        let mut account = DcEnergyAccount::new();
+        let mut suspended_fraction = Vec::new();
+        let mut suspend_cycles = Vec::new();
+        for h in &self.hosts {
+            account.add_host(&h.meter);
+            suspended_fraction.push((h.spec.id, h.meter.suspended_fraction()));
+            suspend_cycles.push((h.spec.id, h.meter.suspend_cycles()));
+        }
+        let n = self.vms.len();
+        let mut colocation = vec![vec![0.0; n]; n];
+        if self.cfg.track_colocation && self.hour > 0 {
+            for (i, row) in colocation.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell = self.coloc_hours[i][j] as f64 / self.hour as f64;
+                }
+            }
+        }
+        let mut sla = self.sla.clone();
+        sla.mean_service_ms = if self.service_ms_count > 0 {
+            self.service_ms_sum / self.service_ms_count as f64
+        } else {
+            0.0
+        };
+        DcOutcome {
+            algorithm: self.algorithm,
+            hours: self.hour,
+            suspended_fraction,
+            global_suspended_fraction: account.global_suspended_fraction(),
+            energy_kwh: account.kwh(),
+            migrations: self
+                .vms
+                .iter()
+                .map(|v| (v.spec.id, v.migrations))
+                .collect(),
+            colocation,
+            sla,
+            suspend_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_traces::{TracePattern, VmTrace};
+
+    fn two_host_dc(algorithm: Algorithm, traces: Vec<(VmTrace, WorkloadKind)>) -> Datacenter {
+        let hosts = vec![
+            HostSpec::testbed_machine(HostId(0), "P0"),
+            HostSpec::testbed_machine(HostId(1), "P1"),
+        ];
+        let vms: Vec<VmSpec> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, (trace, kind))| {
+                VmSpec::testbed_flavor(VmId(i as u32), format!("V{i}"), trace, kind)
+            })
+            .collect();
+        let placement: Vec<HostId> = (0..vms.len())
+            .map(|i| HostId((i % 2) as u32))
+            .collect();
+        let mut cfg = DcConfig::paper_default();
+        cfg.track_sla = true;
+        Datacenter::new(cfg, algorithm, hosts, vms, placement, None, 42)
+    }
+
+    fn idle_trace(hours: usize) -> VmTrace {
+        VmTrace::idle("idle", hours)
+    }
+
+    fn busy_trace(hours: usize) -> VmTrace {
+        VmTrace::new("busy", vec![0.5; hours])
+    }
+
+    #[test]
+    fn idle_hosts_suspend_and_save_energy() {
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (idle_trace(48), WorkloadKind::Interactive),
+                (idle_trace(48), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(48);
+        let out = dc.finish();
+        assert!(
+            out.global_suspended_fraction > 0.9,
+            "idle DC suspends: {}",
+            out.global_suspended_fraction
+        );
+        // ≈ 2 hosts × 5 W × 48 h ≈ 0.48 kWh ≪ always-on (4.8 kWh).
+        assert!(out.energy_kwh < 1.0, "energy {}", out.energy_kwh);
+    }
+
+    #[test]
+    fn no_suspend_algorithm_keeps_hosts_on() {
+        let mut dc = two_host_dc(
+            Algorithm::NeatNoSuspend,
+            vec![
+                (idle_trace(48), WorkloadKind::Interactive),
+                (idle_trace(48), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(48);
+        let out = dc.finish();
+        assert_eq!(out.global_suspended_fraction, 0.0);
+        // 2 hosts × 50 W × 48 h = 4.8 kWh.
+        assert!((out.energy_kwh - 4.8).abs() < 0.2, "energy {}", out.energy_kwh);
+    }
+
+    #[test]
+    fn busy_hosts_stay_awake() {
+        // Two lightly loaded hosts: Neat consolidates the VMs onto one
+        // host (underload drain) and sleeps the other — but the loaded
+        // host itself never suspends.
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (busy_trace(24), WorkloadKind::Interactive),
+                (busy_trace(24), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(24);
+        let out = dc.finish();
+        let fractions: Vec<f64> = out.suspended_fraction.iter().map(|(_, f)| *f).collect();
+        let min = fractions.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fractions.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min < 0.05, "the loaded host never sleeps: {fractions:?}");
+        assert!(max > 0.5, "the drained host sleeps: {fractions:?}");
+    }
+
+    #[test]
+    fn wake_hits_pay_resume_latency() {
+        // One VM idle at night, active in day hours — the first request
+        // after each idle stretch triggers a wake.
+        let mut levels = vec![0.0; 48];
+        for d in 0..2 {
+            for hh in 9..17 {
+                levels[d * 24 + hh] = 0.3;
+            }
+        }
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (VmTrace::new("day", levels), WorkloadKind::Interactive),
+                (idle_trace(48), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(48);
+        let out = dc.finish();
+        assert!(out.sla.wake_hits >= 2, "wake hits {}", out.sla.wake_hits);
+        // Quick resume ≈ 800 ms + service: worst wake hit near 860 ms,
+        // far over the 200 ms SLA but bounded.
+        assert!(out.sla.worst_wake_ms >= 800.0);
+        assert!(out.sla.worst_wake_ms <= 1700.0);
+        assert!(out.sla.within_sla() > 0.99, "SLA {}", out.sla.within_sla());
+    }
+
+    #[test]
+    fn timer_driven_wakes_are_anticipated() {
+        // A daily backup VM: the host suspends and is woken by schedule,
+        // so no wake-hit latency is recorded.
+        let backup = TracePattern::paper_daily_backup()
+            .generate(72, &mut SimRng::new(1));
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (backup, WorkloadKind::TimerDriven),
+                (idle_trace(72), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(72);
+        let out = dc.finish();
+        assert_eq!(out.sla.wake_hits, 0, "scheduled wakes pay no latency");
+        // Host 0 still suspended most of the time (23/24 idle hours).
+        let f = out.suspended_fraction[0].1;
+        assert!(f > 0.8, "suspension fraction {f}");
+    }
+
+    #[test]
+    fn drowsy_eventually_groups_matching_patterns() {
+        // Four VMs on two hosts: two always-idle, two day-active, start
+        // interleaved. Drowsy-DC should regroup them within a few days.
+        let mut day = vec![0.0; 24 * 7];
+        for d in 0..7 {
+            for hh in 8..18 {
+                day[d * 24 + hh] = 0.4;
+            }
+        }
+        let day_trace = VmTrace::new("day", day);
+        let hosts = vec![
+            HostSpec::testbed_machine(HostId(0), "P0"),
+            HostSpec::testbed_machine(HostId(1), "P1"),
+        ];
+        let vms = vec![
+            VmSpec::testbed_flavor(VmId(0), "V0", day_trace.clone(), WorkloadKind::Interactive),
+            VmSpec::testbed_flavor(VmId(1), "V1", idle_trace(24 * 7), WorkloadKind::Interactive),
+            VmSpec::testbed_flavor(VmId(2), "V2", day_trace, WorkloadKind::Interactive),
+            VmSpec::testbed_flavor(VmId(3), "V3", idle_trace(24 * 7), WorkloadKind::Interactive),
+        ];
+        // Interleaved: (V0,V1) on P0, (V2,V3) on P1.
+        let placement = vec![HostId(0), HostId(0), HostId(1), HostId(1)];
+        let mut cfg = DcConfig::paper_default();
+        cfg.track_sla = false;
+        let mut dc = Datacenter::new(cfg, Algorithm::DrowsyDc, hosts, vms, placement, None, 7);
+        dc.run(24 * 14);
+        let out = dc.finish();
+        // The two day-active VMs end up colocated (and the idle pair too).
+        let day_pair = out.colocation[0][2];
+        assert!(
+            day_pair > 0.5,
+            "day VMs colocated only {:.0}% of the time",
+            day_pair * 100.0
+        );
+        assert!(out.total_migrations() >= 2, "regrouping required moves");
+        assert!(
+            out.total_migrations() <= 20,
+            "placement must stabilize, got {}",
+            out.total_migrations()
+        );
+    }
+
+    #[test]
+    fn drowsy_beats_neat_which_beats_no_suspend() {
+        // Mixed patterns on two hosts; the canonical energy ordering.
+        let mut day = vec![0.0; 24 * 7];
+        for d in 0..7 {
+            for hh in 8..18 {
+                day[d * 24 + hh] = 0.4;
+            }
+        }
+        let day_trace = VmTrace::new("day", day);
+        let build = |alg| {
+            let hosts = vec![
+                HostSpec::testbed_machine(HostId(0), "P0"),
+                HostSpec::testbed_machine(HostId(1), "P1"),
+            ];
+            let vms = vec![
+                VmSpec::testbed_flavor(VmId(0), "V0", day_trace.clone(), WorkloadKind::Interactive),
+                VmSpec::testbed_flavor(VmId(1), "V1", idle_trace(24 * 7), WorkloadKind::Interactive),
+                VmSpec::testbed_flavor(VmId(2), "V2", day_trace.clone(), WorkloadKind::Interactive),
+                VmSpec::testbed_flavor(VmId(3), "V3", idle_trace(24 * 7), WorkloadKind::Interactive),
+            ];
+            let placement = vec![HostId(0), HostId(0), HostId(1), HostId(1)];
+            let mut cfg = DcConfig::paper_default();
+            cfg.track_sla = false;
+            Datacenter::new(cfg, alg, hosts, vms, placement, None, 7)
+        };
+        let run = |alg| {
+            let mut dc = build(alg);
+            dc.run(24 * 14);
+            dc.finish().energy_kwh
+        };
+        let drowsy = run(Algorithm::DrowsyDc);
+        let neat_s3 = run(Algorithm::NeatSuspend);
+        let neat = run(Algorithm::NeatNoSuspend);
+        assert!(
+            drowsy < neat_s3,
+            "Drowsy ({drowsy}) must beat Neat+S3 ({neat_s3})"
+        );
+        assert!(neat_s3 < neat, "Neat+S3 ({neat_s3}) must beat Neat ({neat})");
+    }
+
+    #[test]
+    fn oasis_parks_idle_vms_and_sleeps_origin_hosts() {
+        let hosts = vec![
+            HostSpec::testbed_machine(HostId(0), "P0"),
+            HostSpec::testbed_machine(HostId(1), "P1"),
+            HostSpec::cloud_server(HostId(2), "CONS"),
+        ];
+        let vms = vec![
+            VmSpec::testbed_flavor(VmId(0), "V0", idle_trace(48), WorkloadKind::Interactive),
+            VmSpec::testbed_flavor(VmId(1), "V1", idle_trace(48), WorkloadKind::Interactive),
+        ];
+        let placement = vec![HostId(0), HostId(1)];
+        let mut cfg = DcConfig::paper_default();
+        cfg.track_sla = false;
+        let mut dc = Datacenter::new(
+            cfg,
+            Algorithm::Oasis,
+            hosts,
+            vms,
+            placement,
+            Some(HostId(2)),
+            3,
+        );
+        dc.run(48);
+        let out = dc.finish();
+        // Origin hosts sleep; the consolidation host never does.
+        assert!(out.suspended_fraction[0].1 > 0.8);
+        assert!(out.suspended_fraction[1].1 > 0.8);
+        assert_eq!(out.suspended_fraction[2].1, 0.0);
+        assert!(out.total_migrations() >= 2, "both VMs parked");
+    }
+
+    #[test]
+    fn migrations_are_counted_per_vm() {
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (busy_trace(24), WorkloadKind::Interactive),
+                (idle_trace(24), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(24);
+        let out = dc.finish();
+        let per_vm: u32 = out.migrations.iter().map(|(_, n)| n).sum();
+        assert_eq!(per_vm, out.total_migrations());
+    }
+
+    #[test]
+    fn admitted_vm_lands_on_matching_host() {
+        // Two hosts: one with an idle-pattern pair, one with busy VMs.
+        // Train long enough that scores separate, then admit a new VM:
+        // Drowsy's weigher must put the (undetermined) newcomer on the
+        // host closest to score 0... which after training is the busier
+        // host (negative mean score closer to 0 than the strongly idle
+        // pair). The paper: average-IP hosts "serve as initial hosts for
+        // newly scheduled VMs".
+        let mut dc = two_host_dc(
+            Algorithm::DrowsyDc,
+            vec![
+                (idle_trace(24 * 10), WorkloadKind::Interactive),
+                (busy_trace(24 * 10), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(24 * 5);
+        let n0 = dc.live_vm_count();
+        let spec = VmSpec::testbed_flavor(
+            VmId(0), // overwritten by admit_vm
+            "newcomer",
+            VmTrace::idle("fresh", 24),
+            WorkloadKind::Interactive,
+        );
+        let dest = dc.admit_vm(spec).expect("capacity available");
+        assert_eq!(dc.live_vm_count(), n0 + 1);
+        // The destination actually holds the VM.
+        let placement = dc.debug_placement();
+        assert_eq!(placement.last().unwrap().1, dest);
+        // Simulation keeps running with the newcomer.
+        dc.run(24);
+        let out = dc.finish();
+        assert_eq!(out.migrations.len(), 3);
+    }
+
+    #[test]
+    fn admission_fails_when_full() {
+        // Two 2-slot hosts already hold 4 VMs.
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (busy_trace(24), WorkloadKind::Interactive),
+                (busy_trace(24), WorkloadKind::Interactive),
+                (busy_trace(24), WorkloadKind::Interactive),
+                (busy_trace(24), WorkloadKind::Interactive),
+            ],
+        );
+        let spec = VmSpec::testbed_flavor(
+            VmId(0),
+            "overflow",
+            VmTrace::idle("x", 24),
+            WorkloadKind::Interactive,
+        );
+        assert_eq!(dc.admit_vm(spec).unwrap_err(), AdmitError::NoHostFits);
+        assert_eq!(format!("{}", AdmitError::NoHostFits), "no host passes the placement filters");
+    }
+
+    #[test]
+    fn removed_vm_frees_capacity_and_stops_counting() {
+        let mut dc = two_host_dc(
+            Algorithm::NeatSuspend,
+            vec![
+                (busy_trace(24 * 4), WorkloadKind::Interactive),
+                (busy_trace(24 * 4), WorkloadKind::Interactive),
+            ],
+        );
+        dc.run(24);
+        assert!(dc.remove_vm(VmId(0)));
+        assert!(!dc.remove_vm(VmId(0)), "double remove is a no-op");
+        assert!(!dc.remove_vm(VmId(99)), "unknown VM");
+        assert_eq!(dc.live_vm_count(), 1);
+        dc.run(24 * 3);
+        let out = dc.finish();
+        // The departed VM's host eventually sleeps (no residents).
+        let max = out
+            .suspended_fraction
+            .iter()
+            .map(|(_, f)| *f)
+            .fold(0.0f64, f64::max);
+        assert!(max > 0.4, "freed host sleeps: {:?}", out.suspended_fraction);
+    }
+
+    #[test]
+    fn slmu_lifecycle_admit_run_depart() {
+        // Churn: admit a batch VM mid-run, let it finish, remove it; the
+        // fleet keeps functioning and the energy accounting stays sane.
+        let mut dc = two_host_dc(
+            Algorithm::DrowsyDc,
+            vec![(idle_trace(24 * 6), WorkloadKind::Interactive)],
+        );
+        dc.run(24);
+        let batch = VmSpec::testbed_flavor(
+            VmId(0),
+            "mapreduce",
+            VmTrace::new("burst", vec![1.0; 12]),
+            WorkloadKind::Batch,
+        );
+        let id = VmId(dc.live_vm_count() as u32);
+        dc.admit_vm(batch).unwrap();
+        dc.run(24);
+        assert!(dc.remove_vm(id));
+        dc.run(24 * 4);
+        let out = dc.finish();
+        assert!(out.energy_kwh > 0.0);
+        assert!(out.global_suspended_fraction > 0.3);
+    }
+
+    #[test]
+    fn waking_module_failure_mid_run_is_survivable() {
+        // Kill the waking module halfway: scheduled wakes and drowsy-host
+        // state must survive the failover, so the outcome still shows
+        // deep suspension and anticipated timer wakes.
+        let backup = TracePattern::paper_daily_backup().generate(24 * 6, &mut SimRng::new(2));
+        let hosts = vec![
+            HostSpec::testbed_machine(HostId(0), "P0"),
+            HostSpec::testbed_machine(HostId(1), "P1"),
+        ];
+        let vms = vec![
+            VmSpec::testbed_flavor(VmId(0), "bk", backup, WorkloadKind::TimerDriven),
+            VmSpec::testbed_flavor(VmId(1), "idle", idle_trace(24 * 6), WorkloadKind::Interactive),
+        ];
+        let mut cfg = DcConfig::paper_default();
+        cfg.track_sla = true;
+        let mut dc = Datacenter::new(
+            cfg,
+            Algorithm::NeatSuspend,
+            hosts,
+            vms,
+            vec![HostId(0), HostId(1)],
+            None,
+            3,
+        );
+        dc.run(24 * 3);
+        dc.inject_waking_failure();
+        assert_eq!(dc.waking_failovers(), 1);
+        dc.run(24 * 3);
+        let out = dc.finish();
+        assert_eq!(out.sla.wake_hits, 0, "timer wakes still anticipated");
+        assert!(out.global_suspended_fraction > 0.7, "suspension continues");
+    }
+
+    #[test]
+    fn energy_is_bounded_by_physical_envelope() {
+        // For arbitrary bursty traces the metered energy must sit between
+        // the all-suspended floor and the all-awake-at-peak ceiling.
+        let mut rng = SimRng::new(21);
+        for seed in 0..5u64 {
+            let t0 = TracePattern::RandomBursts { duty: rng.unit() * 0.8, intensity: 0.7 }
+                .generate(24 * 4, &mut SimRng::new(seed));
+            let t1 = TracePattern::RandomBursts { duty: rng.unit() * 0.8, intensity: 0.7 }
+                .generate(24 * 4, &mut SimRng::new(seed + 100));
+            let mut dc = two_host_dc(
+                Algorithm::DrowsyDc,
+                vec![
+                    (t0, WorkloadKind::Interactive),
+                    (t1, WorkloadKind::Interactive),
+                ],
+            );
+            dc.run(24 * 4);
+            let out = dc.finish();
+            let hours = 24.0 * 4.0;
+            let floor = 2.0 * 5.0 * hours / 1000.0; // both hosts in S3
+            let ceiling = 2.0 * 120.0 * hours / 1000.0; // both at peak
+            assert!(out.energy_kwh >= floor, "seed {seed}: {} < {floor}", out.energy_kwh);
+            assert!(out.energy_kwh <= ceiling, "seed {seed}: {} > {ceiling}", out.energy_kwh);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut dc = two_host_dc(
+                Algorithm::DrowsyDc,
+                vec![
+                    (busy_trace(48), WorkloadKind::Interactive),
+                    (idle_trace(48), WorkloadKind::Interactive),
+                ],
+            );
+            dc.run(48);
+            let o = dc.finish();
+            (o.energy_kwh, o.total_migrations(), o.global_suspended_fraction)
+        };
+        assert_eq!(run(), run());
+    }
+}

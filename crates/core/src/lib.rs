@@ -1,0 +1,33 @@
+//! # dds-core — the integrated Drowsy-DC system
+//!
+//! This crate wires every substrate together into the system the paper
+//! evaluates: a datacenter whose hosts carry power-state machines, energy
+//! meters, process tables, timer wheels and suspending modules; whose
+//! network carries a fault-tolerant waking-module cluster; and whose
+//! control plane runs one of four algorithms:
+//!
+//! * [`Algorithm::DrowsyDc`] — idleness-model-driven consolidation with
+//!   host suspension (the contribution);
+//! * [`Algorithm::NeatSuspend`] — OpenStack Neat consolidation plus the
+//!   same suspension machinery (ablating the IP-aware placement);
+//! * [`Algorithm::NeatNoSuspend`] — plain Neat, hosts always on (the
+//!   "current real world case");
+//! * [`Algorithm::Oasis`] — hybrid consolidation via partial VM parking.
+//!
+//! Two ready-made scenarios reproduce the paper's evaluation:
+//!
+//! * [`testbed`] — the §VI.A six-machine OpenStack testbed (Fig. 2,
+//!   Table I, the kWh totals and the SLA analysis);
+//! * [`cluster`] — the §VI.B CloudSim-style sweep over the LLMI fraction.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod datacenter;
+pub mod spec;
+pub mod testbed;
+
+pub use cluster::{run_cluster, ClusterOutcome, ClusterSpec};
+pub use datacenter::{AdmitError, Algorithm, Datacenter, DcConfig, DcOutcome};
+pub use spec::{HostSpec, VmSpec, WorkloadKind};
+pub use testbed::{run_testbed, TestbedOutcome, TestbedSpec};

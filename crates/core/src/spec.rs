@@ -1,0 +1,128 @@
+//! Host and VM specifications for datacenter scenarios.
+
+use dds_sim_core::{HostId, VmId};
+use dds_traces::VmTrace;
+
+/// How a VM's service is driven — this determines its wake path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Request-driven (web search, media streaming): activity arrives as
+    /// network requests, so a suspended host is woken by the packet
+    /// analyzer and the first request pays the resume latency.
+    Interactive,
+    /// Timer-driven (backup service): activity is scheduled by the VM's
+    /// own timers, visible in the hrtimer tree, so the waking module can
+    /// resume the host *ahead of time* with no latency penalty.
+    TimerDriven,
+    /// Batch (SLMU): compute-bound from creation until completion; no
+    /// latency accounting.
+    Batch,
+}
+
+/// Specification of one VM in a scenario.
+#[derive(Debug, Clone)]
+pub struct VmSpec {
+    /// Identity (dense index into the scenario's VM table).
+    pub id: VmId,
+    /// Human-readable name for reports ("V1"…).
+    pub name: String,
+    /// Virtual CPUs.
+    pub vcpus: f64,
+    /// RAM in MiB.
+    pub ram_mb: u64,
+    /// Hourly activity trace driving the VM.
+    pub trace: VmTrace,
+    /// Wake path.
+    pub kind: WorkloadKind,
+}
+
+impl VmSpec {
+    /// The testbed flavour: 2 vCPUs, 6 GiB.
+    pub fn testbed_flavor(
+        id: VmId,
+        name: impl Into<String>,
+        trace: VmTrace,
+        kind: WorkloadKind,
+    ) -> Self {
+        VmSpec {
+            id,
+            name: name.into(),
+            vcpus: 2.0,
+            ram_mb: 6_144,
+            trace,
+            kind,
+        }
+    }
+}
+
+/// Specification of one host in a scenario.
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Identity (dense index into the scenario's host table).
+    pub id: HostId,
+    /// Human-readable name ("P2"…).
+    pub name: String,
+    /// Physical cores.
+    pub cpu_cores: f64,
+    /// RAM in MiB.
+    pub ram_mb: u64,
+    /// Maximum resident VMs (0 = unlimited).
+    pub max_vms: usize,
+}
+
+impl HostSpec {
+    /// The testbed machine: i7-3770 (4C/8T counted as 8 schedulable
+    /// cores), 16 GiB, max 2 VMs.
+    pub fn testbed_machine(id: HostId, name: impl Into<String>) -> Self {
+        HostSpec {
+            id,
+            name: name.into(),
+            cpu_cores: 8.0,
+            ram_mb: 16_384,
+            max_vms: 2,
+        }
+    }
+
+    /// A commodity cloud server for the §VI.B simulation: 16 cores,
+    /// 32 GiB. Memory is deliberately the scarce resource ("memory is
+    /// often the limiting resource in the consolidation process", §I):
+    /// five 6 GiB VMs fill a host, so packing alone cannot empty most of
+    /// the fleet and pattern-aware colocation has real work to do.
+    pub fn cloud_server(id: HostId, name: impl Into<String>) -> Self {
+        HostSpec {
+            id,
+            name: name.into(),
+            cpu_cores: 16.0,
+            ram_mb: 32_768,
+            max_vms: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_flavor_matches_paper() {
+        let spec = VmSpec::testbed_flavor(
+            VmId(0),
+            "V1",
+            VmTrace::idle("t", 24),
+            WorkloadKind::Interactive,
+        );
+        assert_eq!(spec.vcpus, 2.0);
+        assert_eq!(spec.ram_mb, 6_144);
+        assert_eq!(spec.name, "V1");
+    }
+
+    #[test]
+    fn testbed_machine_caps_two_vms() {
+        let h = HostSpec::testbed_machine(HostId(0), "P2");
+        assert_eq!(h.max_vms, 2);
+        assert_eq!(h.ram_mb, 16_384);
+        // Two 6 GiB VMs fit; a third would not.
+        assert!(2 * 6_144 <= h.ram_mb);
+        assert!(3 * 6_144 > h.ram_mb);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hourly activity accounting from scheduler quanta.
+//!
+//! §III-C: "The activity level of a VM is based on the number of scheduler
+//! quanta that were allocated to the VM during an hour. […] The activity
+//! level is the ratio of CPU quanta scheduled for the VM, over the total
+//! possible quanta during an hour; very short scheduling quanta — noise —
+//! are filtered out."
+//!
+//! [`ActivityMeter`] receives individual quantum grants from the (simulated)
+//! hypervisor scheduler and produces the hourly activity level the idleness
+//! model consumes.
+
+use dds_sim_core::time::MILLIS_PER_HOUR;
+use dds_sim_core::SimDuration;
+
+/// Accumulates scheduler quanta for one VM over one-hour windows.
+#[derive(Debug, Clone)]
+pub struct ActivityMeter {
+    /// Quanta shorter than this are noise (monitoring blips, timekeeping)
+    /// and are ignored.
+    min_quantum: SimDuration,
+    /// Total scheduled time from counted quanta in the current hour.
+    scheduled_ms: u64,
+    /// Noise quanta seen this hour (diagnostic).
+    filtered_count: u64,
+    /// Completed-hour history: activity levels per hour, oldest first.
+    history: Vec<f64>,
+}
+
+impl ActivityMeter {
+    /// Creates a meter with the given noise cut-off.
+    pub fn new(min_quantum: SimDuration) -> Self {
+        ActivityMeter {
+            min_quantum,
+            scheduled_ms: 0,
+            filtered_count: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// A meter with a 10 ms noise cut-off (a typical scheduler tick).
+    pub fn with_defaults() -> Self {
+        Self::new(SimDuration::from_millis(10))
+    }
+
+    /// Records one scheduler quantum granted to the VM.
+    pub fn record_quantum(&mut self, quantum: SimDuration) {
+        if quantum < self.min_quantum {
+            self.filtered_count += 1;
+            return;
+        }
+        self.scheduled_ms += quantum.as_millis();
+    }
+
+    /// Convenience: records a busy interval as a single long quantum.
+    pub fn record_busy(&mut self, duration: SimDuration) {
+        self.record_quantum(duration);
+    }
+
+    /// Closes the current hour window, returning the activity level in
+    /// `[0, 1]` and pushing it into the history.
+    pub fn close_hour(&mut self) -> f64 {
+        let level = (self.scheduled_ms as f64 / MILLIS_PER_HOUR as f64).min(1.0);
+        self.scheduled_ms = 0;
+        self.filtered_count = 0;
+        self.history.push(level);
+        level
+    }
+
+    /// Activity accumulated in the (open) current hour.
+    pub fn current_hour_level(&self) -> f64 {
+        (self.scheduled_ms as f64 / MILLIS_PER_HOUR as f64).min(1.0)
+    }
+
+    /// Noise quanta filtered in the current hour.
+    pub fn filtered_count(&self) -> u64 {
+        self.filtered_count
+    }
+
+    /// Completed-hour activity levels, oldest first.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Drops accumulated history (keeps the open hour).
+    pub fn clear_history(&mut self) {
+        self.history.clear();
+    }
+}
+
+impl Default for ActivityMeter {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quanta_accumulate_into_level() {
+        let mut m = ActivityMeter::with_defaults();
+        // 36 quanta of 100 s = 3600 s = the whole hour.
+        for _ in 0..36 {
+            m.record_quantum(SimDuration::from_secs(100));
+        }
+        assert_eq!(m.close_hour(), 1.0);
+        // Half an hour of work.
+        m.record_quantum(SimDuration::from_minutes(30));
+        assert!((m.close_hour() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_quanta_are_filtered() {
+        let mut m = ActivityMeter::new(SimDuration::from_millis(10));
+        for _ in 0..1000 {
+            m.record_quantum(SimDuration::from_millis(5));
+        }
+        assert_eq!(m.filtered_count(), 1000);
+        assert_eq!(m.close_hour(), 0.0, "noise-only hour is idle");
+    }
+
+    #[test]
+    fn boundary_quantum_counts() {
+        let mut m = ActivityMeter::new(SimDuration::from_millis(10));
+        m.record_quantum(SimDuration::from_millis(10)); // == threshold: kept
+        assert_eq!(m.filtered_count(), 0);
+        assert!(m.current_hour_level() > 0.0);
+    }
+
+    #[test]
+    fn level_saturates_at_one() {
+        let mut m = ActivityMeter::with_defaults();
+        m.record_quantum(SimDuration::from_hours(2)); // overcommit
+        assert_eq!(m.close_hour(), 1.0);
+    }
+
+    #[test]
+    fn close_hour_resets_and_records_history() {
+        let mut m = ActivityMeter::with_defaults();
+        m.record_quantum(SimDuration::from_minutes(6));
+        let l1 = m.close_hour();
+        assert!((l1 - 0.1).abs() < 1e-12);
+        assert_eq!(m.current_hour_level(), 0.0);
+        let l2 = m.close_hour();
+        assert_eq!(l2, 0.0);
+        assert_eq!(m.history(), &[l1, l2]);
+        m.clear_history();
+        assert!(m.history().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn level_always_in_unit_interval(
+            quanta in proptest::collection::vec(0u64..10_000_000, 0..100)
+        ) {
+            let mut m = ActivityMeter::with_defaults();
+            for q in quanta {
+                m.record_quantum(SimDuration::from_millis(q));
+            }
+            let level = m.close_hour();
+            prop_assert!((0.0..=1.0).contains(&level));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Prediction-quality metrics (Table III) and windowed evaluation (Fig. 4).
+//!
+//! The convention follows the paper: **the positive case is "idle"** — a
+//! true positive is an hour the model predicted idle that really was idle.
+//!
+//! | metric      | formula                | sensitive to |
+//! |-------------|------------------------|--------------|
+//! | Recall      | TP / (TP + FN)         | missed idleness (lost savings) |
+//! | Precision   | TP / (TP + FP)         | wrongly predicted idleness (bad colocation) |
+//! | F-measure   | harmonic mean of both  | the headline score |
+//! | Specificity | TN / (TN + FP)         | recognizing *active* VMs (LLMU) |
+
+/// A confusion matrix over idle-hour predictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted idle, was idle.
+    pub tp: u64,
+    /// Predicted idle, was active.
+    pub fp: u64,
+    /// Predicted active, was active.
+    pub tn: u64,
+    /// Predicted active, was idle.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction/outcome pair (`true` = idle).
+    pub fn record(&mut self, predicted_idle: bool, actually_idle: bool) {
+        match (predicted_idle, actually_idle) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            // Undefined case: report perfect score, matching the usual
+            // convention when a class never occurs (e.g. specificity of an
+            // always-idle trace).
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    }
+
+    /// TP / (TP + FN): how much of the real idleness was captured.
+    pub fn recall(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// TP / (TP + FP): how trustworthy an "idle" prediction is.
+    pub fn precision(&self) -> f64 {
+        Self::ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// TN / (TN + FP): how well active periods are recognized.
+    pub fn specificity(&self) -> f64 {
+        Self::ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// Harmonic mean of recall and precision — the paper's main score.
+    pub fn f_measure(&self) -> f64 {
+        let r = self.recall();
+        let p = self.precision();
+        if r + p == 0.0 {
+            0.0
+        } else {
+            2.0 * r * p / (r + p)
+        }
+    }
+
+    /// (TP + TN) / total.
+    pub fn accuracy(&self) -> f64 {
+        Self::ratio(self.tp + self.tn, self.total())
+    }
+}
+
+/// One evaluation window's scores (a point on a Fig. 4 curve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowScores {
+    /// Index of the window (0-based).
+    pub window: usize,
+    /// First global hour of the window.
+    pub start_hour: u64,
+    /// The window's confusion matrix.
+    pub matrix: ConfusionMatrix,
+}
+
+impl WindowScores {
+    /// Recall of this window.
+    pub fn recall(&self) -> f64 {
+        self.matrix.recall()
+    }
+    /// Precision of this window.
+    pub fn precision(&self) -> f64 {
+        self.matrix.precision()
+    }
+    /// F-measure of this window.
+    pub fn f_measure(&self) -> f64 {
+        self.matrix.f_measure()
+    }
+    /// Specificity of this window.
+    pub fn specificity(&self) -> f64 {
+        self.matrix.specificity()
+    }
+}
+
+/// Accumulates predictions into fixed-width windows (the paper plots
+/// metric curves over three years; we window by e.g. 2-week buckets).
+#[derive(Debug, Clone)]
+pub struct WindowedEvaluation {
+    window_hours: u64,
+    current: ConfusionMatrix,
+    current_window: usize,
+    hours_in_current: u64,
+    completed: Vec<WindowScores>,
+    cumulative: ConfusionMatrix,
+}
+
+impl WindowedEvaluation {
+    /// Creates an evaluation with the given window width in hours.
+    pub fn new(window_hours: u64) -> Self {
+        assert!(window_hours > 0, "window must be at least one hour");
+        WindowedEvaluation {
+            window_hours,
+            current: ConfusionMatrix::new(),
+            current_window: 0,
+            hours_in_current: 0,
+            completed: Vec::new(),
+            cumulative: ConfusionMatrix::new(),
+        }
+    }
+
+    /// Records one hour's prediction/outcome pair.
+    pub fn record(&mut self, predicted_idle: bool, actually_idle: bool) {
+        self.current.record(predicted_idle, actually_idle);
+        self.cumulative.record(predicted_idle, actually_idle);
+        self.hours_in_current += 1;
+        if self.hours_in_current == self.window_hours {
+            self.flush_window();
+        }
+    }
+
+    fn flush_window(&mut self) {
+        self.completed.push(WindowScores {
+            window: self.current_window,
+            start_hour: self.current_window as u64 * self.window_hours,
+            matrix: self.current,
+        });
+        self.current = ConfusionMatrix::new();
+        self.current_window += 1;
+        self.hours_in_current = 0;
+    }
+
+    /// Completed windows so far.
+    pub fn windows(&self) -> &[WindowScores] {
+        &self.completed
+    }
+
+    /// Flushes any partial window and returns all windows.
+    pub fn finish(mut self) -> Vec<WindowScores> {
+        if self.hours_in_current > 0 {
+            self.flush_window();
+        }
+        self.completed
+    }
+
+    /// The all-time confusion matrix.
+    pub fn cumulative(&self) -> &ConfusionMatrix {
+        &self.cumulative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_iii_formulas() {
+        let m = ConfusionMatrix {
+            tp: 80,
+            fp: 10,
+            tn: 90,
+            fn_: 20,
+        };
+        assert!((m.recall() - 0.8).abs() < 1e-12);
+        assert!((m.precision() - 80.0 / 90.0).abs() < 1e-12);
+        assert!((m.specificity() - 0.9).abs() < 1e-12);
+        let f = 2.0 * 0.8 * (80.0 / 90.0) / (0.8 + 80.0 / 90.0);
+        assert!((m.f_measure() - f).abs() < 1e-12);
+        assert!((m.accuracy() - 170.0 / 200.0).abs() < 1e-12);
+        assert_eq!(m.total(), 200);
+    }
+
+    #[test]
+    fn record_routes_to_cells() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, false);
+        m.record(false, true);
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+    }
+
+    #[test]
+    fn degenerate_classes_give_perfect_scores() {
+        // Always-idle trace, always predicted idle: specificity undefined
+        // → 1 (there are no negative cases to mis-handle).
+        let mut m = ConfusionMatrix::new();
+        for _ in 0..10 {
+            m.record(true, true);
+        }
+        assert_eq!(m.specificity(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.f_measure(), 1.0);
+        // Nothing recorded at all.
+        let empty = ConfusionMatrix::new();
+        assert_eq!(empty.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_gives_zero_f() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, false);
+        m.record(false, true);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f_measure(), 0.0);
+        assert_eq!(m.specificity(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        let b = ConfusionMatrix {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.tp, 11);
+        assert_eq!(a.fp, 22);
+        assert_eq!(a.tn, 33);
+        assert_eq!(a.fn_, 44);
+    }
+
+    #[test]
+    fn windows_flush_at_width() {
+        let mut w = WindowedEvaluation::new(3);
+        for i in 0..7 {
+            w.record(true, i % 2 == 0);
+        }
+        assert_eq!(w.windows().len(), 2);
+        assert_eq!(w.windows()[0].matrix.total(), 3);
+        assert_eq!(w.windows()[1].start_hour, 3);
+        let all = w.finish();
+        assert_eq!(all.len(), 3, "partial window flushed by finish");
+        assert_eq!(all[2].matrix.total(), 1);
+    }
+
+    #[test]
+    fn cumulative_tracks_everything() {
+        let mut w = WindowedEvaluation::new(2);
+        w.record(true, true);
+        w.record(false, true);
+        w.record(true, false);
+        assert_eq!(w.cumulative().total(), 3);
+        assert_eq!(w.cumulative().tp, 1);
+        assert_eq!(w.cumulative().fn_, 1);
+        assert_eq!(w.cumulative().fp, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hour")]
+    fn zero_window_panics() {
+        WindowedEvaluation::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_stay_in_unit_interval(tp in 0u64..100, fp in 0u64..100,
+                                         tn in 0u64..100, fn_ in 0u64..100) {
+            let m = ConfusionMatrix { tp, fp, tn, fn_ };
+            for v in [m.recall(), m.precision(), m.specificity(),
+                      m.f_measure(), m.accuracy()] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn windows_partition_records(
+            n in 1usize..500,
+            width in 1u64..50,
+        ) {
+            let mut w = WindowedEvaluation::new(width);
+            for i in 0..n {
+                w.record(i % 3 == 0, i % 2 == 0);
+            }
+            let windows = w.finish();
+            let total: u64 = windows.iter().map(|s| s.matrix.total()).sum();
+            prop_assert_eq!(total, n as u64);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Idleness-model checkpointing.
+//!
+//! §III-A: "Drowsy-DC continually builds each VM's idleness model" —
+//! which only pays off if the model survives host reboots, VM migrations
+//! and controller restarts. This module (de)serializes a model to a
+//! line-oriented text format. The SI tables are written *sparsely*
+//! (zero slots — the vast majority early in a VM's life — are omitted),
+//! so a freshly started model costs a few hundred bytes and a mature one
+//! tops out around 200 KiB.
+//!
+//! Format (`drowsy-im v1`):
+//!
+//! ```text
+//! drowsy-im v1
+//! config <alpha> <beta> <sigma> <lr> <iters> <tol> <noise> <prior>
+//! weights <wd> <ww> <wm> <wy>
+//! stats <mean_active> <active_hours> <observed_hours>
+//! d <h> <value>            # one line per nonzero SId slot
+//! w <dow> <h> <value>      # … SIw
+//! m <dom> <h> <value>      # … SIm
+//! y <month> <dom> <h> <value>
+//! end
+//! ```
+
+use crate::model::{IdlenessModel, ImConfig};
+use std::fmt;
+
+/// Error decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// One-based line of the offending record (0 = structural).
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "idleness-model checkpoint, line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn err(line: usize, reason: impl Into<String>) -> PersistError {
+    PersistError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+impl IdlenessModel {
+    /// Serializes the model to the `drowsy-im v1` text format.
+    pub fn to_checkpoint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        out.push_str("drowsy-im v1\n");
+        let c = &self.config;
+        let _ = writeln!(
+            out,
+            "config {} {} {} {} {} {} {} {}",
+            c.alpha,
+            c.beta,
+            c.sigma,
+            c.learning_rate,
+            c.max_gd_iterations,
+            c.gd_tolerance,
+            c.noise_threshold,
+            c.initial_mean_activity
+        );
+        let w = self.weights;
+        let _ = writeln!(out, "weights {} {} {} {}", w[0], w[1], w[2], w[3]);
+        let _ = writeln!(
+            out,
+            "stats {} {} {}",
+            self.mean_active_level, self.active_hours, self.observed_hours
+        );
+        for (h, &v) in self.si_day.iter().enumerate() {
+            if v != 0.0 {
+                let _ = writeln!(out, "d {h} {v}");
+            }
+        }
+        for (dow, row) in self.si_week.iter().enumerate() {
+            for (h, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    let _ = writeln!(out, "w {dow} {h} {v}");
+                }
+            }
+        }
+        for (dom, row) in self.si_month.iter().enumerate() {
+            for (h, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    let _ = writeln!(out, "m {dom} {h} {v}");
+                }
+            }
+        }
+        for (month, dom_rows) in self.si_year.iter().enumerate() {
+            for (dom, row) in dom_rows.iter().enumerate() {
+                for (h, &v) in row.iter().enumerate() {
+                    if v != 0.0 {
+                        let _ = writeln!(out, "y {month} {dom} {h} {v}");
+                    }
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Restores a model from [`IdlenessModel::to_checkpoint`] output.
+    pub fn from_checkpoint(text: &str) -> Result<IdlenessModel, PersistError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| err(0, "empty checkpoint"))?;
+        if header.trim() != "drowsy-im v1" {
+            return Err(err(1, format!("unknown header {header:?}")));
+        }
+        let mut model = IdlenessModel::new(ImConfig::default());
+        let mut saw_end = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().expect("non-empty line");
+            let mut f = |what: &str| -> Result<f64, PersistError> {
+                parts
+                    .next()
+                    .ok_or_else(|| err(lineno, format!("missing {what}")))?
+                    .parse::<f64>()
+                    .map_err(|_| err(lineno, format!("bad {what}")))
+            };
+            match tag {
+                "config" => {
+                    model.config = ImConfig {
+                        alpha: f("alpha")?,
+                        beta: f("beta")?,
+                        sigma: f("sigma")?,
+                        learning_rate: f("learning_rate")?,
+                        max_gd_iterations: f("max_gd_iterations")? as u32,
+                        gd_tolerance: f("gd_tolerance")?,
+                        noise_threshold: f("noise_threshold")?,
+                        initial_mean_activity: f("initial_mean_activity")?,
+                    };
+                }
+                "weights" => {
+                    for i in 0..4 {
+                        model.weights[i] = f("weight")?;
+                    }
+                }
+                "stats" => {
+                    model.mean_active_level = f("mean_active_level")?;
+                    model.active_hours = f("active_hours")? as u64;
+                    model.observed_hours = f("observed_hours")? as u64;
+                }
+                "d" => {
+                    let h = f("hour")? as usize;
+                    let v = f("value")?;
+                    *model
+                        .si_day
+                        .get_mut(h)
+                        .ok_or_else(|| err(lineno, "hour out of range"))? = v;
+                }
+                "w" => {
+                    let dow = f("dow")? as usize;
+                    let h = f("hour")? as usize;
+                    let v = f("value")?;
+                    *model
+                        .si_week
+                        .get_mut(dow)
+                        .and_then(|r| r.get_mut(h))
+                        .ok_or_else(|| err(lineno, "slot out of range"))? = v;
+                }
+                "m" => {
+                    let dom = f("dom")? as usize;
+                    let h = f("hour")? as usize;
+                    let v = f("value")?;
+                    *model
+                        .si_month
+                        .get_mut(dom)
+                        .and_then(|r| r.get_mut(h))
+                        .ok_or_else(|| err(lineno, "slot out of range"))? = v;
+                }
+                "y" => {
+                    let month = f("month")? as usize;
+                    let dom = f("dom")? as usize;
+                    let h = f("hour")? as usize;
+                    let v = f("value")?;
+                    *model
+                        .si_year
+                        .get_mut(month)
+                        .and_then(|r| r.get_mut(dom))
+                        .and_then(|r| r.get_mut(h))
+                        .ok_or_else(|| err(lineno, "slot out of range"))? = v;
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(err(lineno, format!("unknown record {other:?}"))),
+            }
+        }
+        if !saw_end {
+            return Err(err(0, "truncated checkpoint (no 'end' record)"));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_sim_core::time::CalendarStamp;
+    use dds_sim_core::SimRng;
+    use proptest::prelude::*;
+
+    fn trained(hours: u64, seed: u64) -> IdlenessModel {
+        let mut m = IdlenessModel::with_defaults();
+        let mut rng = SimRng::new(seed);
+        for h in 0..hours {
+            let level = if rng.chance(0.25) { rng.unit() } else { 0.0 };
+            m.observe_hour(CalendarStamp::from_hour_index(h), level);
+        }
+        m
+    }
+
+    fn models_agree(a: &IdlenessModel, b: &IdlenessModel, hours: u64) {
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.active_hours(), b.active_hours());
+        assert_eq!(a.observed_hours(), b.observed_hours());
+        for h in (0..hours + 400).step_by(7) {
+            let s = CalendarStamp::from_hour_index(h);
+            assert_eq!(a.raw_score(s), b.raw_score(s), "score differs at {h}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = trained(24 * 90, 5);
+        let text = m.to_checkpoint();
+        let back = IdlenessModel::from_checkpoint(&text).unwrap();
+        models_agree(&m, &back, 24 * 90);
+        assert_eq!(back.config(), m.config());
+    }
+
+    #[test]
+    fn fresh_model_roundtrips_small() {
+        let m = IdlenessModel::with_defaults();
+        let text = m.to_checkpoint();
+        assert!(text.len() < 300, "fresh checkpoint is {} bytes", text.len());
+        let back = IdlenessModel::from_checkpoint(&text).unwrap();
+        models_agree(&m, &back, 24);
+    }
+
+    #[test]
+    fn training_continues_after_restore() {
+        // Train 30 days, checkpoint, keep training both sides in
+        // lockstep: they must remain identical.
+        let mut a = trained(24 * 30, 9);
+        let mut b = IdlenessModel::from_checkpoint(&a.to_checkpoint()).unwrap();
+        let mut rng = SimRng::new(10);
+        for h in (24 * 30)..(24 * 40) {
+            let level = if rng.chance(0.3) { rng.unit() } else { 0.0 };
+            a.observe_hour(CalendarStamp::from_hour_index(h), level);
+            b.observe_hour(CalendarStamp::from_hour_index(h), level);
+        }
+        models_agree(&a, &b, 24 * 40);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(IdlenessModel::from_checkpoint("").is_err());
+        assert!(IdlenessModel::from_checkpoint("not-a-model\n").is_err());
+        let e = IdlenessModel::from_checkpoint("drowsy-im v1\nz 1 2 3\nend\n").unwrap_err();
+        assert!(e.reason.contains("unknown record"), "{e}");
+        let e = IdlenessModel::from_checkpoint("drowsy-im v1\nd 99 0.5\nend\n").unwrap_err();
+        assert!(e.reason.contains("out of range"), "{e}");
+        let e = IdlenessModel::from_checkpoint("drowsy-im v1\nweights 1 2\nend\n").unwrap_err();
+        assert!(e.reason.contains("missing"), "{e}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let m = trained(24 * 10, 3);
+        let text = m.to_checkpoint();
+        let cut = &text[..text.len() - 5];
+        let e = IdlenessModel::from_checkpoint(cut).unwrap_err();
+        assert!(e.reason.contains("truncated") || e.reason.contains("bad"), "{e}");
+    }
+
+    #[test]
+    fn display_formats_error() {
+        let e = PersistError {
+            line: 7,
+            reason: "bad value".into(),
+        };
+        assert_eq!(
+            format!("{e}"),
+            "idleness-model checkpoint, line 7: bad value"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn roundtrip_any_training(hours in 1u64..2000, seed in 0u64..1000) {
+            let m = trained(hours, seed);
+            let back = IdlenessModel::from_checkpoint(&m.to_checkpoint()).unwrap();
+            models_agree(&m, &back, hours);
+        }
+    }
+}

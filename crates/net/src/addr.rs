@@ -1,0 +1,96 @@
+//! Network addressing for the simulated rack.
+//!
+//! The waking module's packet analyzer works with "a hashmap, mapping VMs
+//! IP addresses to the MAC addresses of the drowsy servers that host
+//! them". We model both address kinds as opaque newtypes with canonical
+//! derivations from the simulation ids, so tests can construct them
+//! without a DHCP/ARP simulation.
+
+use dds_sim_core::{HostId, VmId};
+use std::fmt;
+
+/// A VM's virtual IP address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmIp(pub u32);
+
+impl VmIp {
+    /// Canonical address assignment: VM *n* gets 10.0.(n/256).(n%256).
+    pub fn of(vm: VmId) -> VmIp {
+        VmIp(0x0A00_0000 | (vm.0 & 0xFFFF))
+    }
+
+    /// The VM this canonical address belongs to.
+    pub fn vm(self) -> VmId {
+        VmId(self.0 & 0xFFFF)
+    }
+}
+
+impl fmt::Display for VmIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// A host NIC's MAC address (the Wake-on-LAN target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostMac(pub u64);
+
+impl HostMac {
+    /// Canonical MAC assignment for host *n* (locally-administered
+    /// 02:50:56 prefix, host index in the low 24 bits).
+    pub fn of(host: HostId) -> HostMac {
+        HostMac(0x0250_5600_0000 | (host.0 & 0x00FF_FFFF) as u64)
+    }
+
+    /// The host this canonical MAC belongs to.
+    pub fn host(self) -> HostId {
+        HostId((self.0 & 0x00FF_FFFF) as u32)
+    }
+}
+
+impl fmt::Display for HostMac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[2], b[3], b[4], b[5], b[6], b[7]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_ip_roundtrip() {
+        for i in [0u32, 1, 255, 4095] {
+            let vm = VmId(i);
+            assert_eq!(VmIp::of(vm).vm(), vm);
+        }
+    }
+
+    #[test]
+    fn host_mac_roundtrip() {
+        for i in [0u32, 7, 1000] {
+            let host = HostId(i);
+            assert_eq!(HostMac::of(host).host(), host);
+        }
+    }
+
+    #[test]
+    fn displays_look_like_addresses() {
+        assert_eq!(format!("{}", VmIp::of(VmId(3))), "10.0.0.3");
+        assert_eq!(format!("{}", VmIp::of(VmId(260))), "10.0.1.4");
+        let mac = format!("{}", HostMac::of(HostId(2)));
+        assert_eq!(mac, "02:50:56:00:00:02");
+    }
+
+    #[test]
+    fn distinct_vms_distinct_ips() {
+        assert_ne!(VmIp::of(VmId(1)), VmIp::of(VmId(2)));
+        assert_ne!(HostMac::of(HostId(1)), HostMac::of(HostId(2)));
+    }
+}

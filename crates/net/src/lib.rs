@@ -1,0 +1,31 @@
+//! # dds-net — simulated rack network and the waking module
+//!
+//! §V of the paper: "Guaranteeing the quick waking of a drowsy server is
+//! an essential part of Drowsy-DC. This is under the responsibility of the
+//! waking module, located on a server that manages the datacenter, and for
+//! this purpose never sleeps." In the prototype it runs on the SDN switch,
+//! one per rack, in heart-beat-monitored mirrored pairs.
+//!
+//! * [`addr`] — virtual-IP / MAC-style addressing for VMs and hosts.
+//! * [`waking`] — [`WakingModule`]: the VM-IP → host-MAC map consulted by
+//!   the packet analyzer, the waking-date schedule fed by the suspending
+//!   modules, ahead-of-time Wake-on-LAN emission, and packet
+//!   hold-and-release for requests that race a resume.
+//! * [`cluster`] — [`WakingCluster`]: the fault-tolerance layer — every
+//!   module heart-beats and mirrors a peer, and a defective module is
+//!   replaced by its mirror copy.
+//! * [`switch`] — [`RackSwitch`]: the packet path itself, with the
+//!   hold-and-release buffer that gives wake-racing requests their
+//!   latency tail.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cluster;
+pub mod switch;
+pub mod waking;
+
+pub use addr::{HostMac, VmIp};
+pub use cluster::WakingCluster;
+pub use switch::{Delivery, Packet, RackSwitch};
+pub use waking::{PacketVerdict, WakeCommand, WakeReason, WakingConfig, WakingModule};

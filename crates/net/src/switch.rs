@@ -1,0 +1,272 @@
+//! The rack's SDN switch: packet forwarding with hold-and-release.
+//!
+//! §V-A: every packet that reaches the switch is checked by the waking
+//! module's analyzer. Packets addressed to VMs on drowsy hosts are not
+//! dropped — they are *held* while the WoL round-trip completes and
+//! released, in arrival order, once the host reports operational. This
+//! module provides that buffer plus delivery-latency accounting, which
+//! is where the "requests triggering a wake take up to ~1500 ms" tail in
+//! §VI.A.3 comes from.
+
+use crate::addr::{HostMac, VmIp};
+use crate::waking::{PacketVerdict, WakeCommand, WakingModule};
+use dds_sim_core::{SimDuration, SimTime, VmId};
+use std::collections::{HashMap, VecDeque};
+
+/// A packet traversing the switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Destination VM address.
+    pub dst: VmIp,
+    /// Arrival instant at the switch.
+    pub arrival: SimTime,
+    /// Opaque payload tag (lets tests track identity).
+    pub tag: u64,
+}
+
+/// A delivered packet with its timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The packet.
+    pub packet: Packet,
+    /// When it left the switch toward the host.
+    pub delivered_at: SimTime,
+    /// Whether it had been held for a wake.
+    pub was_held: bool,
+}
+
+impl Delivery {
+    /// Switch-induced latency (0 for straight forwarding).
+    pub fn hold_latency(&self) -> SimDuration {
+        self.delivered_at.saturating_since(self.packet.arrival)
+    }
+}
+
+/// The rack switch: wraps a [`WakingModule`] with per-host hold queues.
+#[derive(Debug, Clone, Default)]
+pub struct RackSwitch {
+    waking: WakingModule,
+    held: HashMap<HostMac, VecDeque<Packet>>,
+    /// Wake commands emitted and not yet collected by the control plane.
+    pending_wakes: Vec<WakeCommand>,
+    forwarded: u64,
+    held_count: u64,
+}
+
+impl RackSwitch {
+    /// Creates a switch around a waking module.
+    pub fn new(waking: WakingModule) -> Self {
+        RackSwitch {
+            waking,
+            held: HashMap::new(),
+            pending_wakes: Vec::new(),
+            forwarded: 0,
+            held_count: 0,
+        }
+    }
+
+    /// The embedded waking module (for suspension registration etc.).
+    pub fn waking_mut(&mut self) -> &mut WakingModule {
+        &mut self.waking
+    }
+
+    /// Read access to the waking module.
+    pub fn waking(&self) -> &WakingModule {
+        &self.waking
+    }
+
+    /// Packets forwarded without holding.
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets that had to be held for a wake.
+    pub fn held_packet_count(&self) -> u64 {
+        self.held_count
+    }
+
+    /// Packets currently buffered for `mac`.
+    pub fn queued_for(&self, mac: HostMac) -> usize {
+        self.held.get(&mac).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Takes the wake commands the switch emitted since the last call
+    /// (the datacenter turns them into resume operations).
+    pub fn take_wake_commands(&mut self) -> Vec<WakeCommand> {
+        std::mem::take(&mut self.pending_wakes)
+    }
+
+    /// Processes one inbound packet: either an immediate [`Delivery`] or
+    /// `None` when the packet was held pending a host wake.
+    pub fn ingress(&mut self, packet: Packet) -> Option<Delivery> {
+        match self.waking.handle_packet(packet.dst) {
+            PacketVerdict::Forward => {
+                self.forwarded += 1;
+                Some(Delivery {
+                    delivered_at: packet.arrival,
+                    packet,
+                    was_held: false,
+                })
+            }
+            PacketVerdict::WakeAndHold(cmd) => {
+                self.held_count += 1;
+                self.held.entry(cmd.mac).or_default().push_back(packet);
+                self.pending_wakes.push(cmd);
+                None
+            }
+            PacketVerdict::Hold => {
+                self.held_count += 1;
+                // Find the host currently being woken for this VM.
+                let mac = self
+                    .held
+                    .keys()
+                    .copied()
+                    .find(|&m| self.waking.vms_of(m).iter().any(|(ip, _)| *ip == packet.dst))
+                    .expect("held verdict implies a drowsy host");
+                self.held.get_mut(&mac).expect("queue exists").push_back(packet);
+                None
+            }
+        }
+    }
+
+    /// Polls the waking schedule (scheduled dates fire through here too).
+    pub fn poll_schedule(&mut self, now: SimTime) -> usize {
+        let cmds = self.waking.poll_schedule(now);
+        let n = cmds.len();
+        self.pending_wakes.extend(cmds);
+        n
+    }
+
+    /// Notifies the switch that a host finished resuming: releases its
+    /// held packets in FIFO order, stamped `now`.
+    pub fn host_resumed(&mut self, mac: HostMac, now: SimTime) -> Vec<Delivery> {
+        self.waking.on_host_resumed(mac);
+        let Some(queue) = self.held.remove(&mac) else {
+            return Vec::new();
+        };
+        queue
+            .into_iter()
+            .map(|packet| Delivery {
+                delivered_at: now,
+                packet,
+                was_held: true,
+            })
+            .collect()
+    }
+
+    /// VMs whose packets a drowsy host would receive (diagnostics).
+    pub fn drowsy_vms(&self, mac: HostMac) -> Vec<VmId> {
+        self.waking.vms_of(mac).iter().map(|&(_, vm)| vm).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waking::{WakeReason, WakingConfig};
+    use dds_sim_core::HostId;
+
+    fn mac(i: u32) -> HostMac {
+        HostMac::of(HostId(i))
+    }
+    fn ip(i: u32) -> VmIp {
+        VmIp::of(VmId(i))
+    }
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+    fn pkt(dst: u32, at: u64, tag: u64) -> Packet {
+        Packet {
+            dst: ip(dst),
+            arrival: t(at),
+            tag,
+        }
+    }
+
+    fn switch() -> RackSwitch {
+        RackSwitch::new(WakingModule::new(WakingConfig::paper_default()))
+    }
+
+    #[test]
+    fn packets_to_awake_hosts_forward_instantly() {
+        let mut s = switch();
+        let d = s.ingress(pkt(1, 100, 1)).expect("forwarded");
+        assert!(!d.was_held);
+        assert_eq!(d.hold_latency(), SimDuration::ZERO);
+        assert_eq!(s.forwarded_count(), 1);
+        assert_eq!(s.held_packet_count(), 0);
+    }
+
+    #[test]
+    fn packets_to_drowsy_hosts_are_held_and_released_in_order() {
+        let mut s = switch();
+        s.waking_mut()
+            .register_suspension(mac(2), vec![(ip(5), VmId(5))], None);
+        assert!(s.ingress(pkt(5, 1_000, 1)).is_none());
+        assert!(s.ingress(pkt(5, 1_100, 2)).is_none());
+        assert!(s.ingress(pkt(5, 1_200, 3)).is_none());
+        assert_eq!(s.queued_for(mac(2)), 3);
+        // Exactly one WoL for the burst.
+        let wakes = s.take_wake_commands();
+        assert_eq!(wakes.len(), 1);
+        assert_eq!(wakes[0].reason, WakeReason::InboundRequest { vm: VmId(5) });
+        // Host resumes 800 ms after the first packet.
+        let released = s.host_resumed(mac(2), t(1_800));
+        let tags: Vec<u64> = released.iter().map(|d| d.packet.tag).collect();
+        assert_eq!(tags, vec![1, 2, 3], "FIFO release");
+        assert!(released.iter().all(|d| d.was_held));
+        assert_eq!(
+            released[0].hold_latency(),
+            SimDuration::from_millis(800),
+            "first packet pays the resume"
+        );
+        assert_eq!(released[2].hold_latency(), SimDuration::from_millis(600));
+        // Queue drained; subsequent packets forward.
+        assert_eq!(s.queued_for(mac(2)), 0);
+        assert!(s.ingress(pkt(5, 2_000, 4)).is_some());
+    }
+
+    #[test]
+    fn scheduled_wakes_flow_through_pending() {
+        let mut s = switch();
+        s.waking_mut().register_suspension(
+            mac(1),
+            vec![(ip(1), VmId(1))],
+            Some(SimTime::from_secs(100)),
+        );
+        assert_eq!(s.poll_schedule(SimTime::from_secs(99)), 1);
+        let cmds = s.take_wake_commands();
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0].reason, WakeReason::ScheduledDate { .. }));
+        assert!(s.take_wake_commands().is_empty(), "commands are drained");
+    }
+
+    #[test]
+    fn resume_without_held_packets_is_clean() {
+        let mut s = switch();
+        s.waking_mut()
+            .register_suspension(mac(3), vec![(ip(9), VmId(9))], None);
+        assert!(s.host_resumed(mac(3), t(5)).is_empty());
+        // Host is awake now; packets forward.
+        assert!(s.ingress(pkt(9, 10, 1)).is_some());
+    }
+
+    #[test]
+    fn two_drowsy_hosts_queue_independently() {
+        let mut s = switch();
+        s.waking_mut()
+            .register_suspension(mac(1), vec![(ip(1), VmId(1))], None);
+        s.waking_mut()
+            .register_suspension(mac(2), vec![(ip(2), VmId(2))], None);
+        s.ingress(pkt(1, 10, 1));
+        s.ingress(pkt(2, 11, 2));
+        s.ingress(pkt(1, 12, 3));
+        assert_eq!(s.queued_for(mac(1)), 2);
+        assert_eq!(s.queued_for(mac(2)), 1);
+        assert_eq!(s.take_wake_commands().len(), 2);
+        let r1 = s.host_resumed(mac(1), t(900));
+        assert_eq!(r1.len(), 2);
+        assert_eq!(s.queued_for(mac(2)), 1, "other host untouched");
+        assert_eq!(s.drowsy_vms(mac(2)), vec![VmId(2)]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dds-placement — VM placement and consolidation algorithms
+//!
+//! Implements the placement layer of the reproduction: the substrate
+//! schedulers Drowsy-DC plugs into, Drowsy-DC's own idleness-aware
+//! algorithm (§III-D), and the baselines the paper compares against.
+//!
+//! * [`types`] — the cluster view placement operates on ([`ClusterState`],
+//!   [`HostState`], [`VmState`]) and the [`Migration`] plan unit.
+//! * [`filters`] — a Nova-style filter scheduler (filters + weighers) for
+//!   initial VM placement, including Drowsy-DC's IP-proximity weigher.
+//! * [`neat`] — the OpenStack Neat dynamic-consolidation baseline
+//!   decomposed as published: overload detection (static threshold, MAD,
+//!   IQR), underload detection, VM selection (minimum-migration-time,
+//!   random, maximum-correlation) and power-aware best-fit-decreasing
+//!   placement.
+//! * [`drowsy`] — Drowsy-DC's modifications: IP-distance VM selection,
+//!   closest-IP destination choice, and the opportunistic consolidation
+//!   pass that breaks up hosts whose VM IP range exceeds 7σ.
+//! * [`oasis`] — an approximation of the Oasis hybrid-consolidation
+//!   baseline (idle VMs parked on a consolidation host via partial
+//!   migration; origin hosts sleep and wake on VM activity).
+//! * [`multiplex`] — the pairwise-correlation joint-provisioning baseline
+//!   (Meng et al.), whose O(n²) matching underpins the paper's §VII
+//!   scalability comparison with Drowsy-DC's O(n) scoring.
+//! * [`history`] — per-VM utilization histories consumed by the
+//!   correlation-based policies.
+
+#![warn(missing_docs)]
+
+pub mod drowsy;
+pub mod filters;
+pub mod history;
+pub mod multiplex;
+pub mod neat;
+pub mod oasis;
+pub mod types;
+
+pub use drowsy::{DrowsyConfig, DrowsyPlanner};
+pub use filters::{FilterScheduler, HostFilter, HostWeigher};
+pub use history::HistoryBook;
+pub use multiplex::MultiplexPlanner;
+pub use neat::{
+    NeatConfig, NeatPlanner, OverloadPolicy, SelectionPolicy, UnderloadPolicy,
+};
+pub use oasis::{OasisConfig, OasisPlanner};
+pub use types::{ClusterState, ConsolidationPlan, HostState, Migration, VmState};

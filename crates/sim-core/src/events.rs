@@ -1,0 +1,296 @@
+//! Deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with **stable FIFO
+//! tie-breaking**: events scheduled for the same instant pop in the order
+//! they were pushed. Stability is what makes whole-datacenter simulations
+//! bit-for-bit reproducible across runs — `BinaryHeap` alone does not
+//! guarantee any order among equal keys, so every entry carries a
+//! monotonically increasing sequence number.
+//!
+//! Events may be cancelled lazily by token: cancellation marks the token
+//! and the entry is skipped on pop, which keeps cancellation O(1) at the
+//! cost of dead entries in the heap (bounded by the number of cancels).
+
+use crate::time::SimTime;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Token returned by [`EventQueue::schedule`]; can be used to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+/// An event popped from the queue: when it fires and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant the event fires.
+    pub time: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A stable, cancellable discrete-event queue.
+///
+/// ```
+/// use dds_sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(10), "b");
+/// q.schedule(SimTime::from_secs(5), "a");
+/// q.schedule(SimTime::from_secs(10), "c"); // same time as "b": FIFO
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    last_popped: Option<SimTime>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            last_popped: None,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`, returning a cancellation token.
+    ///
+    /// Scheduling *in the past* relative to the last popped event is a
+    /// simulation-logic bug; it is rejected with a panic in debug builds
+    /// (in release builds the event simply fires immediately, preserving
+    /// global time monotonicity from the consumer's perspective).
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        debug_assert!(
+            self.last_popped.is_none_or(|lp| time >= lp),
+            "scheduled event at {time:?} before current time {:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the token
+    /// was still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(token.0)
+    }
+
+    /// Pops the earliest pending event, skipping cancelled entries.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.last_popped = Some(entry.time);
+            return Some(ScheduledEvent {
+                time: entry.time,
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no pending events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The time of the most recently popped event (the queue's notion of
+    /// "now").
+    pub fn current_time(&self) -> Option<SimTime> {
+        self.last_popped
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "late");
+        q.schedule(t(1), "early");
+        assert_eq!(q.pop_until(t(5)).unwrap().event, "early");
+        assert!(q.pop_until(t(5)).is_none());
+        assert_eq!(q.pop_until(t(10)).unwrap().event, "late");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn current_time_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.current_time(), None);
+        q.schedule(t(4), ());
+        q.pop();
+        assert_eq!(q.current_time(), Some(t(4)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    proptest! {
+        /// Popped times are non-decreasing for arbitrary schedules, and all
+        /// non-cancelled events come out exactly once.
+        #[test]
+        fn ordering_and_conservation(
+            times in proptest::collection::vec(0u64..1_000, 1..200),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut tokens = Vec::new();
+            for (i, &s) in times.iter().enumerate() {
+                tokens.push((i, q.schedule(t(s), i)));
+            }
+            let mut cancelled = std::collections::HashSet::new();
+            for ((i, tok), &c) in tokens.iter().zip(cancel_mask.iter()) {
+                if c && q.cancel(*tok) {
+                    cancelled.insert(*i);
+                }
+            }
+            let mut last = SimTime::EPOCH;
+            let mut seen = std::collections::HashSet::new();
+            while let Some(ev) = q.pop() {
+                prop_assert!(ev.time >= last);
+                last = ev.time;
+                prop_assert!(seen.insert(ev.event));
+                prop_assert!(!cancelled.contains(&ev.event));
+            }
+            prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+        }
+    }
+}

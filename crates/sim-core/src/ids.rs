@@ -1,0 +1,81 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Using newtypes instead of bare integers prevents the classic simulator
+//! bug of indexing the host table with a VM id. All ids are dense `u32`
+//! indexes assigned by the owning registry (datacenter model, process
+//! table, …) and are `Copy`, ordered and hashable so they can key maps.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            pub const fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a virtual machine.
+    VmId,
+    "V"
+);
+define_id!(
+    /// Identifier of a physical host (server).
+    HostId,
+    "P"
+);
+define_id!(
+    /// Identifier of a rack (one waking module per rack in the paper).
+    RackId,
+    "R"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn ids_roundtrip_and_format() {
+        let v = VmId::from_index(3);
+        assert_eq!(v.index(), 3);
+        assert_eq!(format!("{v}"), "V3");
+        assert_eq!(format!("{:?}", HostId(2)), "P2");
+        assert_eq!(format!("{}", RackId(0)), "R0");
+    }
+
+    #[test]
+    fn ids_are_distinct_types_and_hashable() {
+        let mut m: HashMap<VmId, u32> = HashMap::new();
+        m.insert(VmId(1), 10);
+        m.insert(VmId(2), 20);
+        assert_eq!(m[&VmId(1)], 10);
+        // HostId(1) cannot index m — enforced at compile time.
+        assert!(VmId(1) < VmId(2));
+    }
+}

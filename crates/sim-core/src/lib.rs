@@ -1,0 +1,35 @@
+//! # dds-sim-core — deterministic discrete-event simulation substrate
+//!
+//! Foundation crate for the Drowsy-DC reproduction. It provides the pieces
+//! every other crate builds on:
+//!
+//! * [`time`] — simulated time ([`SimTime`], [`SimDuration`]) with
+//!   millisecond resolution and a simplified (leap-free) calendar that
+//!   decomposes an instant into the four scales the idleness model uses
+//!   (hour of day, day of week, day of month, month of year).
+//! * [`events`] — a stable, deterministic event queue ([`EventQueue`])
+//!   ordered by time with FIFO tie-breaking.
+//! * [`ids`] — typed identifiers for simulation entities (VMs, hosts, …).
+//! * [`rng`] — seedable, stream-split random number helpers so that every
+//!   experiment is reproducible from a single `u64` seed.
+//! * [`stats`] — online statistics, percentile summaries and text/CSV table
+//!   rendering used by the experiment harnesses.
+//!
+//! The engine is intentionally single-threaded and allocation-light: the
+//! Drowsy-DC experiments simulate weeks to years of wall-clock time at an
+//! hourly control cadence, so determinism and replayability matter more
+//! than parallel speed. Parallelism happens *across* experiment runs (the
+//! bench harness fans independent parameter points out over threads).
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::{EventQueue, ScheduledEvent};
+pub use ids::{HostId, RackId, VmId};
+pub use rng::SimRng;
+pub use time::{CalendarStamp, SimDuration, SimTime, Weekday};

@@ -1,0 +1,437 @@
+//! Online statistics, percentile summaries and table rendering.
+//!
+//! The experiment harnesses report means, tail percentiles (SLA analysis
+//! uses the fraction of requests under 200 ms and the p99 latency) and
+//! aligned text tables mirroring the paper's tables. Everything here is
+//! dependency-free and deterministic.
+
+use std::fmt::Write as _;
+
+/// Numerically stable online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A sample reservoir for percentile queries.
+///
+/// Keeps every observation (the experiments produce at most a few million
+/// latency samples, well within memory) and sorts lazily on query.
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty reservoir.
+    pub fn new() -> Self {
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile data"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) by nearest-rank; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Fraction of observations `<= threshold` (0 when empty).
+    ///
+    /// This is the paper's SLA metric: "more than 99 % of the web search
+    /// requests were serviced within 200 ms".
+    pub fn fraction_at_most(&mut self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&x| x <= threshold);
+        idx as f64 / self.samples.len() as f64
+    }
+}
+
+/// A simple aligned text table with CSV export, used by the experiment
+/// binaries to print paper-style tables.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the row is padded/truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned, boxed text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep_len: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let sep = "-".repeat(sep_len);
+        let render_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:>w$} |");
+            }
+            out.push('\n');
+        };
+        out.push_str(&sep);
+        out.push('\n');
+        render_row(&self.header, &mut out);
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with the given number of decimals.
+pub fn pct(x: f64, decimals: usize) -> String {
+    format!("{:.*}", decimals, x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut p = Percentiles::new();
+        for x in 1..=100 {
+            p.push(x as f64);
+        }
+        assert_eq!(p.quantile(0.5), Some(50.0));
+        assert_eq!(p.quantile(0.99), Some(99.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        assert_eq!(p.quantile(0.0), Some(1.0), "q=0 clamps to first sample");
+        assert_eq!(p.max(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_percentiles() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), None);
+        assert_eq!(p.fraction_at_most(10.0), 0.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fraction_at_most_counts_inclusive() {
+        let mut p = Percentiles::new();
+        for x in [100.0, 150.0, 200.0, 900.0] {
+            p.push(x);
+        }
+        assert!((p.fraction_at_most(200.0) - 0.75).abs() < 1e-12);
+        assert!((p.fraction_at_most(99.0) - 0.0).abs() < 1e-12);
+        assert!((p.fraction_at_most(1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = TextTable::new(vec!["Algorithm", "P2", "Global"]);
+        t.row(vec!["Drowsy-DC", "0", "66"]);
+        t.row(vec!["Neat", "89", "49"]);
+        let rendered = t.render();
+        assert!(rendered.contains("| Algorithm |"));
+        assert!(rendered.contains("| Drowsy-DC |"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "Algorithm,P2,Global");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x,y"]);
+        t.row(vec!["he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "only-one,");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.6634, 1), "66.3");
+        assert_eq!(pct(0.5, 0), "50");
+    }
+
+    proptest! {
+        #[test]
+        fn quantiles_are_monotone(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut p = Percentiles::new();
+            for &x in &xs {
+                p.push(x);
+            }
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let a = p.quantile(lo).unwrap();
+            let b = p.quantile(hi).unwrap();
+            prop_assert!(a <= b);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(a >= xs[0] && b <= xs[xs.len() - 1]);
+        }
+
+        #[test]
+        fn online_mean_bounded_by_min_max(
+            xs in proptest::collection::vec(-1e9f64..1e9, 1..200)
+        ) {
+            let mut s = OnlineStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            prop_assert!(s.mean() >= s.min() - 1e-6);
+            prop_assert!(s.mean() <= s.max() + 1e-6);
+            prop_assert!(s.variance() >= 0.0);
+        }
+    }
+}

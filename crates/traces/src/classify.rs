@@ -1,0 +1,232 @@
+//! VM workload taxonomy — the paper's §I/§III-A classification.
+//!
+//! "From the point of view of their activity patterns, VMs may be
+//! classified in three categories: short-lived mostly-used VMs (noted
+//! SLMU, e.g. MapReduce tasks), long-lived mostly-used VMs (noted LLMU,
+//! e.g. popular Web services), and long-lived mostly-idle VMs (noted
+//! LLMI, e.g. seasonal Web services)."
+//!
+//! Drowsy-DC only profits from LLMI VMs; the classifier below lets a
+//! deployment estimate, from monitoring data alone, how much of its fleet
+//! Drowsy-DC can work with (the sweep variable of §VI.B), and which
+//! periodicity scales dominate each VM (the weight priors of the IM).
+
+use crate::trace::VmTrace;
+
+/// The three activity classes of the paper (plus an undetermined bucket
+/// for traces too short to judge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmClass {
+    /// Short-lived, mostly used: batch jobs that run hard and exit.
+    Slmu,
+    /// Long-lived, mostly used: always-on services.
+    Llmu,
+    /// Long-lived, mostly idle: Drowsy-DC's target population.
+    Llmi,
+    /// Not enough signal (trace shorter than the observation window).
+    Undetermined,
+}
+
+/// Periodicity scales detected in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Periodicity {
+    /// Autocorrelation at lag 24 h.
+    pub daily: f64,
+    /// Autocorrelation at lag 7 × 24 h.
+    pub weekly: f64,
+    /// Whether either scale shows a strong (> 0.5) period.
+    pub is_periodic: bool,
+}
+
+/// Classifier thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifierConfig {
+    /// Minimum observed hours before judging (default: 3 days).
+    pub min_hours: usize,
+    /// Duty cycle at or above which a VM counts as "mostly used".
+    pub mostly_used_duty: f64,
+    /// A VM whose activity all falls within this leading fraction of the
+    /// observation window, followed by silence, is short-lived.
+    pub short_lived_fraction: f64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            min_hours: 72,
+            mostly_used_duty: 0.5,
+            short_lived_fraction: 0.5,
+        }
+    }
+}
+
+/// Classifies a trace into the paper's taxonomy.
+pub fn classify(trace: &VmTrace) -> VmClass {
+    classify_with(trace, &ClassifierConfig::default())
+}
+
+/// Classifies with explicit thresholds.
+pub fn classify_with(trace: &VmTrace, cfg: &ClassifierConfig) -> VmClass {
+    let n = trace.hours();
+    if n < cfg.min_hours {
+        return VmClass::Undetermined;
+    }
+    let levels = trace.levels();
+    // Last hour with any activity.
+    let last_active = levels.iter().rposition(|&x| x > 0.0);
+    let Some(last_active) = last_active else {
+        // Never active at all: an idle long-lived VM.
+        return VmClass::Llmi;
+    };
+    // Short-lived: all activity confined to the leading fraction of the
+    // window, with a dense duty cycle inside its lifetime.
+    let lifetime = last_active + 1;
+    if (lifetime as f64) < n as f64 * cfg.short_lived_fraction {
+        let lifetime_duty = levels[..lifetime].iter().filter(|&&x| x > 0.0).count() as f64
+            / lifetime as f64;
+        if lifetime_duty >= cfg.mostly_used_duty {
+            return VmClass::Slmu;
+        }
+    }
+    if trace.duty_cycle() >= cfg.mostly_used_duty {
+        VmClass::Llmu
+    } else {
+        VmClass::Llmi
+    }
+}
+
+/// Measures the dominant periodicity scales of a trace.
+pub fn periodicity(trace: &VmTrace) -> Periodicity {
+    let daily = trace.autocorrelation(24);
+    let weekly = trace.autocorrelation(7 * 24);
+    Periodicity {
+        daily,
+        weekly,
+        is_periodic: daily > 0.5 || weekly > 0.5,
+    }
+}
+
+/// Fraction of a fleet's traces classified LLMI — the §VI.B sweep
+/// variable, measured instead of assumed.
+pub fn llmi_fraction(traces: &[VmTrace]) -> f64 {
+    if traces.is_empty() {
+        return 0.0;
+    }
+    let llmi = traces
+        .iter()
+        .filter(|t| classify(t) == VmClass::Llmi)
+        .count();
+    llmi as f64 / traces.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nutanix::nutanix_all;
+    use crate::patterns::TracePattern;
+    use dds_sim_core::SimRng;
+
+    const MONTH: usize = 30 * 24;
+
+    fn rng() -> SimRng {
+        SimRng::new(77)
+    }
+
+    #[test]
+    fn llmu_is_detected() {
+        let t = TracePattern::paper_llmu().generate(MONTH, &mut rng());
+        assert_eq!(classify(&t), VmClass::Llmu);
+    }
+
+    #[test]
+    fn llmi_patterns_are_detected() {
+        for t in [
+            TracePattern::paper_daily_backup().generate(MONTH, &mut rng()),
+            TracePattern::paper_comic_strips().generate(MONTH, &mut rng()),
+            TracePattern::BusinessHours {
+                start_hour: 9,
+                end_hour: 17,
+                intensity: 0.5,
+                jitter: 0.1,
+            }
+            .generate(MONTH, &mut rng()),
+        ] {
+            assert_eq!(classify(&t), VmClass::Llmi, "{}", t.label);
+        }
+    }
+
+    #[test]
+    fn slmu_is_detected() {
+        let t = TracePattern::Slmu {
+            lifetime_hours: 48,
+            intensity: 0.9,
+        }
+        .generate(MONTH, &mut rng());
+        assert_eq!(classify(&t), VmClass::Slmu);
+    }
+
+    #[test]
+    fn sparse_short_activity_is_not_slmu() {
+        // Active only during the first week but with a *thin* duty: this
+        // is an LLMI VM whose busy season ended, not a batch job.
+        let mut levels = vec![0.0; MONTH];
+        for d in 0..7 {
+            levels[d * 24 + 9] = 0.3;
+        }
+        let t = VmTrace::new("seasonal", levels);
+        assert_eq!(classify(&t), VmClass::Llmi);
+    }
+
+    #[test]
+    fn short_traces_are_undetermined() {
+        let t = TracePattern::paper_llmu().generate(24, &mut rng());
+        assert_eq!(classify(&t), VmClass::Undetermined);
+    }
+
+    #[test]
+    fn never_active_is_llmi() {
+        let t = VmTrace::idle("idle", MONTH);
+        assert_eq!(classify(&t), VmClass::Llmi);
+    }
+
+    #[test]
+    fn production_traces_are_llmi_and_periodic() {
+        let traces = nutanix_all(MONTH * 3, &rng());
+        for t in &traces {
+            assert_eq!(classify(t), VmClass::Llmi, "{}", t.label);
+            let p = periodicity(t);
+            assert!(
+                p.is_periodic,
+                "{} daily {} weekly {}",
+                t.label, p.daily, p.weekly
+            );
+        }
+        assert_eq!(llmi_fraction(&traces), 1.0);
+    }
+
+    #[test]
+    fn llmi_fraction_counts_mixture() {
+        let mut traces = nutanix_all(MONTH, &rng());
+        traces.push(TracePattern::paper_llmu().generate(MONTH, &mut rng()));
+        traces.push(TracePattern::paper_llmu().generate(MONTH, &mut rng()));
+        // 5 LLMI of 7 total.
+        assert!((llmi_fraction(&traces) - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(llmi_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn periodicity_scales_match_pattern_structure() {
+        let daily = TracePattern::paper_daily_backup().generate(MONTH * 2, &mut rng());
+        let p = periodicity(&daily);
+        assert!(p.daily > 0.9);
+        let weekly = TracePattern::BusinessHours {
+            start_hour: 8,
+            end_hour: 18,
+            intensity: 0.4,
+            jitter: 0.0,
+        }
+        .generate(MONTH * 2, &mut rng());
+        let p = periodicity(&weekly);
+        assert!(p.weekly > 0.9);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dds-traces — workload patterns and activity-trace generation
+//!
+//! Drowsy-DC consumes a single signal per VM: the **hourly activity level**,
+//! defined in §III-C of the paper as "the ratio of CPU quanta scheduled for
+//! the VM, over the total possible quanta during an hour", with very short
+//! quanta filtered as noise. This crate builds those signals:
+//!
+//! * [`trace`] — [`VmTrace`], an hourly activity series with statistics,
+//!   transforms and CSV (de)serialization.
+//! * [`patterns`] — [`TracePattern`], deterministic + stochastic generators
+//!   for every workload class the paper evaluates (Table II): the daily
+//!   backup, the thrice-weekly comic-strip site with summer holidays, the
+//!   seasonal diploma-results site, long-lived mostly-used (LLMU),
+//!   short-lived mostly-used (SLMU) and business-hours VMs.
+//! * [`nutanix`] — synthetic stand-ins for the five production traces from
+//!   the Nutanix private cloud used in Fig. 1 and Fig. 4(c–g). The real
+//!   traces are proprietary; these generators reproduce their published
+//!   structure (5–25 % duty cycles, strong daily/weekly periodicity, burst
+//!   noise) so the idleness model faces the same learning problem.
+//! * [`requests`] — an open-loop request-level client (Poisson arrivals
+//!   modulated by the activity trace) used for the SLA experiments.
+//! * [`transform`] — trace combinators (shift, scale, overlay, noise,
+//!   autocorrelation) for building evaluation scenarios.
+//! * `classify` — the paper's §I taxonomy (SLMU / LLMU / LLMI) measured
+//!   from traces, plus periodicity detection.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod nutanix;
+pub mod patterns;
+pub mod requests;
+pub mod trace;
+pub mod transform;
+
+pub use classify::{classify, llmi_fraction, periodicity, VmClass};
+pub use nutanix::nutanix_trace;
+pub use patterns::TracePattern;
+pub use requests::{RequestGenerator, RequestProfile};
+pub use trace::VmTrace;

@@ -1,0 +1,179 @@
+//! Request-level workload generation for SLA experiments.
+//!
+//! The paper's testbed runs CloudSuite Web Search behind client simulators
+//! and checks that "more than 99 % of the web search requests were serviced
+//! within 200 ms", with wake-triggering requests paying the resume latency
+//! (≈1500 ms stock, ≈800 ms with quick resume). We model the part of that
+//! pipeline the power-management system actually interacts with: an
+//! open-loop Poisson arrival process whose rate follows the VM's activity
+//! trace, and a light-tailed service-time distribution calibrated so that
+//! an awake host comfortably meets the 200 ms SLA.
+
+use crate::trace::VmTrace;
+use dds_sim_core::time::MILLIS_PER_HOUR;
+use dds_sim_core::{SimDuration, SimRng, SimTime};
+
+/// Parameters of the request workload attached to a VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestProfile {
+    /// Arrival rate (requests/second) when the VM's activity level is 1.0.
+    pub peak_rps: f64,
+    /// Mean service time of a request on an awake host.
+    pub mean_service_ms: f64,
+    /// Standard deviation of the service time.
+    pub std_service_ms: f64,
+    /// The SLA threshold the experiment reports against.
+    pub sla: SimDuration,
+}
+
+impl RequestProfile {
+    /// Web-search-like profile matching the paper's SLA setup.
+    pub fn web_search() -> Self {
+        RequestProfile {
+            peak_rps: 20.0,
+            mean_service_ms: 60.0,
+            std_service_ms: 30.0,
+            sla: SimDuration::from_millis(200),
+        }
+    }
+
+    /// Samples one service time.
+    pub fn sample_service(&self, rng: &mut SimRng) -> SimDuration {
+        let ms = rng
+            .normal(self.mean_service_ms, self.std_service_ms)
+            .clamp(1.0, self.mean_service_ms * 4.0 + 4.0 * self.std_service_ms);
+        SimDuration::from_millis(ms.round() as u64)
+    }
+}
+
+/// Generates request arrival times hour by hour, following a trace.
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    trace: VmTrace,
+    profile: RequestProfile,
+    rng: SimRng,
+}
+
+impl RequestGenerator {
+    /// Creates a generator; `rng` should be a per-VM stream.
+    pub fn new(trace: VmTrace, profile: RequestProfile, rng: SimRng) -> Self {
+        RequestGenerator {
+            trace,
+            profile,
+            rng,
+        }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &RequestProfile {
+        &self.profile
+    }
+
+    /// Poisson arrival instants within the given global hour, sorted.
+    ///
+    /// The hourly rate is `peak_rps × activity_level`; an idle hour
+    /// produces no requests (timer-driven VMs are modelled separately via
+    /// the host timer wheel).
+    pub fn arrivals_in_hour(&mut self, hour_index: u64) -> Vec<SimTime> {
+        let level = self.trace.level_at_hour(hour_index);
+        if level <= 0.0 {
+            return Vec::new();
+        }
+        let rate_per_ms = self.profile.peak_rps * level / 1000.0;
+        let hour_start = hour_index * MILLIS_PER_HOUR;
+        let mut arrivals = Vec::new();
+        // Sequential exponential gaps produce a sorted Poisson process.
+        let mut t = 0.0f64;
+        loop {
+            t += self.rng.exponential(1.0 / rate_per_ms);
+            if t >= MILLIS_PER_HOUR as f64 {
+                break;
+            }
+            arrivals.push(SimTime::from_millis(hour_start + t as u64));
+        }
+        arrivals
+    }
+
+    /// Samples a service time for one request.
+    pub fn sample_service(&mut self) -> SimDuration {
+        let profile = self.profile.clone();
+        profile.sample_service(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(level: f64) -> RequestGenerator {
+        let trace = VmTrace::new("t", vec![level; 24]);
+        RequestGenerator::new(trace, RequestProfile::web_search(), SimRng::new(99))
+    }
+
+    #[test]
+    fn idle_hours_produce_no_requests() {
+        let mut g = gen(0.0);
+        assert!(g.arrivals_in_hour(0).is_empty());
+        assert!(g.arrivals_in_hour(5).is_empty());
+    }
+
+    #[test]
+    fn arrival_rate_tracks_activity() {
+        let mut g = gen(1.0);
+        let n_full: usize = (0..20).map(|h| g.arrivals_in_hour(h).len()).sum();
+        let mut g = gen(0.25);
+        let n_quarter: usize = (0..20).map(|h| g.arrivals_in_hour(h).len()).sum();
+        // 20 h at 20 rps = 1.44 M ms gaps… expected 1.44M? No: 20 rps *
+        // 3600 s * 20 h = 1.44 M requests is too many to generate; the
+        // profile's peak is 20 rps so expect 72 000 per hour at level 1.
+        let expected_full = 20.0 * 3600.0 * 20.0;
+        assert!((n_full as f64 - expected_full).abs() < expected_full * 0.05);
+        assert!((n_quarter as f64 - expected_full / 4.0).abs() < expected_full * 0.05);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_hour() {
+        let mut g = gen(0.8);
+        let arrivals = g.arrivals_in_hour(3);
+        assert!(!arrivals.is_empty());
+        let start = SimTime::from_hours(3);
+        let end = SimTime::from_hours(4);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arrivals.iter().all(|&a| a >= start && a < end));
+    }
+
+    #[test]
+    fn service_times_respect_sla_when_awake() {
+        let mut g = gen(1.0);
+        let sla = g.profile().sla;
+        let mut under = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            if g.sample_service() <= sla {
+                under += 1;
+            }
+        }
+        // With mean 60 ms / σ 30 ms, essentially every request fits 200 ms.
+        assert!(under as f64 / n as f64 > 0.99);
+    }
+
+    #[test]
+    fn service_times_are_positive_and_bounded() {
+        let mut g = gen(1.0);
+        for _ in 0..1000 {
+            let s = g.sample_service();
+            assert!(s.as_millis() >= 1);
+            assert!(s.as_millis() <= 400);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let t = VmTrace::new("t", vec![0.5; 24]);
+        let mut a = RequestGenerator::new(t.clone(), RequestProfile::web_search(), SimRng::new(1));
+        let mut b = RequestGenerator::new(t, RequestProfile::web_search(), SimRng::new(1));
+        assert_eq!(a.arrivals_in_hour(0), b.arrivals_in_hour(0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Trace transforms: compose, perturb and reshape activity traces.
+//!
+//! The evaluation scenarios frequently need variations of a base trace —
+//! the paper itself extends 7-day production traces to three years,
+//! phase-shifts workloads across VMs and adds measurement noise. These
+//! combinators keep that manipulation out of the experiment code.
+
+use crate::trace::VmTrace;
+use dds_sim_core::SimRng;
+
+impl VmTrace {
+    /// Shifts the trace by `hours` (positive = later): hour `h` of the
+    /// result is hour `h - hours` of the input (wrapping). Useful to
+    /// create phase-shifted copies of a workload.
+    pub fn shifted(&self, hours: i64) -> VmTrace {
+        let n = self.hours() as i64;
+        if n == 0 {
+            return self.clone();
+        }
+        let levels = (0..n)
+            .map(|h| {
+                let src = (h - hours).rem_euclid(n);
+                self.levels()[src as usize]
+            })
+            .collect();
+        VmTrace::new(format!("{}+{}h", self.label, hours), levels)
+    }
+
+    /// Scales every level by `factor` (clamped back into [0, 1]).
+    pub fn scaled(&self, factor: f64) -> VmTrace {
+        VmTrace::new(
+            self.label.clone(),
+            self.levels().iter().map(|&x| x * factor).collect(),
+        )
+    }
+
+    /// Pointwise maximum of two traces (a VM running both services).
+    /// The result has the length of the longer trace; the shorter one
+    /// wraps.
+    pub fn overlaid(&self, other: &VmTrace) -> VmTrace {
+        let n = self.hours().max(other.hours());
+        let levels = (0..n as u64)
+            .map(|h| self.level_at_hour(h).max(other.level_at_hour(h)))
+            .collect();
+        VmTrace::new(format!("{}|{}", self.label, other.label), levels)
+    }
+
+    /// Adds multiplicative jitter (±`amount` relative) to active hours
+    /// and flips idle hours active with probability `spurious`.
+    pub fn with_noise(&self, amount: f64, spurious: f64, rng: &mut SimRng) -> VmTrace {
+        let levels = self
+            .levels()
+            .iter()
+            .map(|&x| {
+                if x > 0.0 {
+                    (x * (1.0 + amount * (rng.unit() * 2.0 - 1.0))).clamp(0.01, 1.0)
+                } else if rng.chance(spurious) {
+                    rng.uniform(0.01, 0.1)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        VmTrace::new(self.label.clone(), levels)
+    }
+
+    /// Concatenates two traces.
+    pub fn spliced(&self, then: &VmTrace) -> VmTrace {
+        let mut levels = self.levels().to_vec();
+        levels.extend_from_slice(then.levels());
+        VmTrace::new(format!("{};{}", self.label, then.label), levels)
+    }
+
+    /// Lag-`k` autocorrelation of the activity series (k in hours).
+    ///
+    /// Strong daily workloads show a peak at k = 24, weekly ones at
+    /// k = 168 — the signal behind the paper's "periodic idleness at four
+    /// different scales" observation, and what the `classify` module uses
+    /// to detect periodicity.
+    pub fn autocorrelation(&self, lag: usize) -> f64 {
+        let xs = self.levels();
+        let n = xs.len();
+        if n <= lag + 1 {
+            return 0.0;
+        }
+        let mean = self.mean_level();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            den += (x - mean) * (x - mean);
+            if i + lag < n {
+                num += (x - mean) * (xs[i + lag] - mean);
+            }
+        }
+        if den <= 0.0 {
+            0.0
+        } else {
+            // Length-normalized estimator: the plain biased form caps at
+            // (n-lag)/n even for perfectly periodic series, which
+            // penalizes long lags (weekly = 168 h) on short traces. The
+            // normalization can slightly overshoot on short series, so
+            // clamp into the correlation range.
+            ((num / (n - lag) as f64) / (den / n as f64)).clamp(-1.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::TracePattern;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shift_moves_activity() {
+        let t = VmTrace::new("t", vec![1.0, 0.0, 0.0, 0.0]);
+        let s = t.shifted(2);
+        assert_eq!(s.levels(), &[0.0, 0.0, 1.0, 0.0]);
+        let back = t.shifted(-1);
+        assert_eq!(back.levels(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn shift_wraps_and_preserves_mass() {
+        let t = VmTrace::new("t", vec![0.2, 0.4, 0.0, 0.6]);
+        for k in [-7i64, -1, 0, 3, 11] {
+            let s = t.shifted(k);
+            assert_eq!(s.hours(), t.hours());
+            let a: f64 = t.levels().iter().sum();
+            let b: f64 = s.levels().iter().sum();
+            assert!((a - b).abs() < 1e-12, "shift {k} lost activity");
+        }
+    }
+
+    #[test]
+    fn scale_clamps() {
+        let t = VmTrace::new("t", vec![0.5, 0.9]);
+        let s = t.scaled(2.0);
+        assert_eq!(s.levels(), &[1.0, 1.0]);
+        let down = t.scaled(0.5);
+        assert_eq!(down.levels(), &[0.25, 0.45]);
+    }
+
+    #[test]
+    fn overlay_takes_pointwise_max() {
+        let a = VmTrace::new("a", vec![0.1, 0.8, 0.0]);
+        let b = VmTrace::new("b", vec![0.5, 0.2, 0.0]);
+        let o = a.overlaid(&b);
+        assert_eq!(o.levels(), &[0.5, 0.8, 0.0]);
+    }
+
+    #[test]
+    fn overlay_wraps_shorter_trace() {
+        let a = VmTrace::new("a", vec![0.0, 0.0, 0.0, 0.9]);
+        let b = VmTrace::new("b", vec![0.3]);
+        let o = a.overlaid(&b);
+        assert_eq!(o.hours(), 4);
+        assert!(o.levels().iter().all(|&x| x >= 0.3));
+    }
+
+    #[test]
+    fn splice_concatenates() {
+        let a = VmTrace::new("a", vec![0.1]);
+        let b = VmTrace::new("b", vec![0.2, 0.3]);
+        let s = a.spliced(&b);
+        assert_eq!(s.levels(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn noise_preserves_structure() {
+        let mut rng = SimRng::new(3);
+        let t = TracePattern::paper_daily_backup().generate(24 * 30, &mut rng);
+        let noisy = t.with_noise(0.3, 0.0, &mut rng);
+        for (a, b) in t.levels().iter().zip(noisy.levels()) {
+            assert_eq!(*a > 0.0, *b > 0.0, "no spurious flips at rate 0");
+        }
+        let with_spurious = t.with_noise(0.0, 0.5, &mut rng);
+        let extra = with_spurious
+            .levels()
+            .iter()
+            .zip(t.levels())
+            .filter(|(n, o)| **n > 0.0 && **o == 0.0)
+            .count();
+        assert!(extra > 24 * 30 / 4, "spurious flips appear: {extra}");
+    }
+
+    #[test]
+    fn daily_trace_has_daily_autocorrelation_peak() {
+        let mut rng = SimRng::new(5);
+        let t = TracePattern::paper_daily_backup().generate(24 * 60, &mut rng);
+        let daily = t.autocorrelation(24);
+        let offbeat = t.autocorrelation(17);
+        assert!(daily > 0.9, "daily peak {daily}");
+        assert!(offbeat < 0.2, "off-period {offbeat}");
+    }
+
+    #[test]
+    fn weekly_trace_peaks_at_168() {
+        let mut rng = SimRng::new(5);
+        let t = TracePattern::BusinessHours {
+            start_hour: 9,
+            end_hour: 17,
+            intensity: 0.5,
+            jitter: 0.0,
+        }
+        .generate(24 * 120, &mut rng);
+        assert!(t.autocorrelation(168) > 0.9);
+        // Daily correlation exists too (weekdays) but weekly is stronger.
+        assert!(t.autocorrelation(168) >= t.autocorrelation(24));
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_cases() {
+        assert_eq!(VmTrace::new("c", vec![0.5; 10]).autocorrelation(2), 0.0);
+        assert_eq!(VmTrace::new("s", vec![0.5]).autocorrelation(2), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn shift_roundtrips(levels in proptest::collection::vec(0.0f64..=1.0, 1..80),
+                            k in -200i64..200) {
+            let t = VmTrace::new("p", levels);
+            let round = t.shifted(k).shifted(-k);
+            for (a, b) in t.levels().iter().zip(round.levels()) {
+                prop_assert!((a - b).abs() < 1e-15);
+            }
+        }
+
+        #[test]
+        fn autocorrelation_bounded(levels in proptest::collection::vec(0.0f64..=1.0, 4..120),
+                                   lag in 1usize..40) {
+            let t = VmTrace::new("p", levels);
+            let r = t.autocorrelation(lag);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Train an idleness model on a workload and interrogate it.
+//!
+//! ```text
+//! cargo run --release --example idleness_model
+//! ```
+//!
+//! Scenario: a capacity planner wants to know *when* a seasonal
+//! enterprise VM will be idle next week, and how trustworthy those
+//! predictions are. We feed a year of the workload into the idleness
+//! model hour by hour (exactly what the per-host model builder does) and
+//! then read out next-week idleness probabilities and quality metrics.
+
+use drowsy_dc::idleness::{evaluate_model_on_trace, IdlenessModel};
+use drowsy_dc::sim::time::CalendarStamp;
+use drowsy_dc::sim::SimRng;
+use drowsy_dc::traces::TracePattern;
+
+fn main() {
+    // A business-hours application: weekdays 9:00–17:00, idle nights and
+    // weekends — a classic long-lived mostly-idle (LLMI) VM.
+    let pattern = TracePattern::BusinessHours {
+        start_hour: 9,
+        end_hour: 17,
+        intensity: 0.5,
+        jitter: 0.2,
+    };
+    let year_hours = 365 * 24;
+    let trace = pattern.generate(year_hours, &mut SimRng::new(7));
+
+    // Train while scoring (predict-then-observe, two-week windows).
+    let mut model = IdlenessModel::with_defaults();
+    let windows = evaluate_model_on_trace(&mut model, &trace, year_hours as u64, 14 * 24);
+
+    println!("trained on one year of '{}'\n", trace.label);
+    println!("prediction quality (two-week windows):");
+    for probe in [0, windows.len() / 2, windows.len() - 2] {
+        let w = &windows[probe];
+        println!(
+            "  window {:>2} (hour {:>5}): F-measure {:>5.1} %  recall {:>5.1} %  precision {:>5.1} %",
+            w.window,
+            w.start_hour,
+            w.f_measure() * 100.0,
+            w.recall() * 100.0,
+            w.precision() * 100.0,
+        );
+    }
+
+    // Interrogate next week: Monday and Saturday, hourly.
+    println!("\nidleness probability for the next Monday (hour by hour):");
+    let monday0 = year_hours as u64; // year boundary: day 365 ≡ Tuesday; find Monday
+    let mut day = monday0 / 24;
+    while !day.is_multiple_of(7) {
+        day += 1;
+    }
+    print_day(&model, day, "Monday");
+    print_day(&model, day + 5, "Saturday");
+
+    let w = model.weights();
+    println!(
+        "\nlearned scale weights [day, week, month, year]: [{:.3}, {:.3}, {:.3}, {:.3}]",
+        w[0], w[1], w[2], w[3]
+    );
+    println!("(the weekly scale earns weight from the weekend/weekday contrast, but the");
+    println!(" hour-of-day scale still dominates — so Saturday business hours may remain");
+    println!(" predicted active: the same structural limit that caps the paper's Fig. 4(b))");
+}
+
+fn print_day(model: &IdlenessModel, day: u64, label: &str) {
+    print!("  {label:>9}: ");
+    for hour in 0..24u64 {
+        let stamp = CalendarStamp::from_hour_index(day * 24 + hour);
+        let p = model.probability(stamp);
+        // One glyph per hour: '#' = confidently idle, '.' = active.
+        let glyph = if p > 0.55 {
+            '#'
+        } else if p > 0.5 {
+            '+'
+        } else {
+            '.'
+        };
+        print!("{glyph}");
+    }
+    println!("   ('#'=idle, '.'=active, hours 0..24)");
+}

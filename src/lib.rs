@@ -1,0 +1,52 @@
+//! # Drowsy-DC — data center power management via idleness-aware
+//! # consolidation and server suspension
+//!
+//! This crate is the façade of the Drowsy-DC reproduction (Bacou et al.,
+//! IPDPS 2019). It re-exports every subsystem crate under one roof so that
+//! downstream users can depend on `drowsy-dc` alone:
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`power`] — ACPI-style power states, host power models, energy meters.
+//! * [`traces`] — workload patterns and activity-trace generators.
+//! * [`idleness`] — the idleness model (IM) and idleness probability (IP).
+//! * [`hostos`] — simulated host OS: processes, timers, suspending module.
+//! * [`net`] — simulated SDN switch, Wake-on-LAN, waking module.
+//! * [`placement`] — Nova-style scheduler, Neat, Oasis and Drowsy-DC
+//!   placement algorithms.
+//! * [`system`] — the integrated datacenter model and controllers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use drowsy_dc::prelude::*;
+//!
+//! // A small datacenter: 4 pool hosts, 8 VMs (2 always-busy, 6 mostly-idle).
+//! let spec = TestbedSpec::paper_default();
+//! let outcome = run_testbed(&spec, Algorithm::DrowsyDc, 42);
+//! assert!(outcome.global_suspension_fraction() > 0.0);
+//! println!("energy: {:.1} kWh", outcome.total_energy_kwh());
+//! ```
+//!
+//! See `examples/quickstart.rs` for a narrated version, and the
+//! `dds-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+
+pub use dds_core as system;
+pub use dds_hostos as hostos;
+pub use dds_idleness as idleness;
+pub use dds_net as net;
+pub use dds_placement as placement;
+pub use dds_power as power;
+pub use dds_sim_core as sim;
+pub use dds_traces as traces;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use dds_core::cluster::{run_cluster, ClusterOutcome, ClusterSpec};
+    pub use dds_core::datacenter::Algorithm;
+    pub use dds_core::testbed::{run_testbed, TestbedOutcome, TestbedSpec};
+    pub use dds_idleness::{IdlenessModel, ImConfig};
+    pub use dds_power::{HostPowerModel, PowerState};
+    pub use dds_sim_core::{SimDuration, SimTime, VmId};
+    pub use dds_traces::{TracePattern, VmTrace};
+}
