@@ -57,7 +57,15 @@ fn build_dc(hosts: usize, vms: usize) -> Datacenter {
     let mut cfg = DcConfig::paper_default();
     cfg.track_colocation = false;
     cfg.track_sla = false;
-    Datacenter::new(cfg, Algorithm::DrowsyDc, host_specs, vm_specs, placement, None, 23)
+    Datacenter::new(
+        cfg,
+        Algorithm::DrowsyDc,
+        host_specs,
+        vm_specs,
+        placement,
+        None,
+        23,
+    )
 }
 
 fn bench_control_hour(c: &mut Criterion) {

@@ -23,12 +23,7 @@ fn bench_suspend(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("decide", n), &n, |b, _| {
             let mut module = SuspendModule::new(SuspendConfig::without_grace());
             b.iter(|| {
-                std::hint::black_box(module.decide(
-                    SimTime::from_secs(60),
-                    &procs,
-                    &bl,
-                    &timers,
-                ))
+                std::hint::black_box(module.decide(SimTime::from_secs(60), &procs, &bl, &timers))
             });
         });
         g.bench_with_input(BenchmarkId::new("timer_walk", n), &n, |b, _| {

@@ -47,7 +47,12 @@ fn main() {
             for check in 1..12u64 {
                 if !suspended
                     && module
-                        .decide(SimTime::from_secs(base + 2 + check * 5), &procs, &bl, &timers)
+                        .decide(
+                            SimTime::from_secs(base + 2 + check * 5),
+                            &procs,
+                            &bl,
+                            &timers,
+                        )
                         .is_suspend()
                 {
                     suspended = true;
@@ -67,8 +72,7 @@ fn main() {
     let years = if opts.quick { 1 } else { 3 };
     let hours = years * 365 * 24;
     let f_measure = |learning: bool| -> f64 {
-        let trace =
-            TracePattern::paper_comic_strips().generate(hours, &mut SimRng::new(opts.seed));
+        let trace = TracePattern::paper_comic_strips().generate(hours, &mut SimRng::new(opts.seed));
         let mut cfg = ImConfig::paper_default();
         if !learning {
             cfg.learning_rate = 0.0;

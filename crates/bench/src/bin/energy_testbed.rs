@@ -71,6 +71,9 @@ fn main() {
     stock.config.wake_speed = WakeSpeed::Normal;
     let quick = run_testbed(&spec, Algorithm::DrowsyDc, opts.seed);
     let slow = run_testbed(&stock, Algorithm::DrowsyDc, opts.seed);
-    println!("wake-hit latency: quick resume worst {:.0} ms, stock resume worst {:.0} ms", quick.dc.sla.worst_wake_ms, slow.dc.sla.worst_wake_ms);
+    println!(
+        "wake-hit latency: quick resume worst {:.0} ms, stock resume worst {:.0} ms",
+        quick.dc.sla.worst_wake_ms, slow.dc.sla.worst_wake_ms
+    );
     println!("paper: ≈800 ms with quick resume, up to ≈1500 ms stock");
 }

@@ -6,7 +6,7 @@
 //! the 0–25 % activity band with daily structure; check the same shape
 //! here.
 
-use dds_bench::{ExpOptions, pct1};
+use dds_bench::{pct1, ExpOptions};
 use dds_sim_core::SimRng;
 use dds_traces::nutanix::nutanix_all;
 

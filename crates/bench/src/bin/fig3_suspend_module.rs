@@ -12,7 +12,9 @@
 //!    and timer tree grow.
 
 use dds_bench::ExpOptions;
-use dds_hostos::{Blacklist, Decision, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerWheel};
+use dds_hostos::{
+    Blacklist, Decision, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerWheel,
+};
 use dds_sim_core::stats::TextTable;
 use dds_sim_core::{SimRng, SimTime};
 use std::time::Instant;

@@ -35,11 +35,31 @@ fn main() {
             "comic strips (3x/week, none Jul-Aug)",
             TracePattern::paper_comic_strips().generate(hours, &mut rng.stream("b")),
         ),
-        ("c", "real trace 1 (daily, weekly)", nutanix_trace(1, hours, &rng)),
-        ("d", "real trace 2 (daily, weekly)", nutanix_trace(2, hours, &rng)),
-        ("e", "real trace 3 (daily, weekly)", nutanix_trace(3, hours, &rng)),
-        ("f", "real trace 4 (daily, weekly)", nutanix_trace(4, hours, &rng)),
-        ("g", "real trace 5 (daily, weekly)", nutanix_trace(5, hours, &rng)),
+        (
+            "c",
+            "real trace 1 (daily, weekly)",
+            nutanix_trace(1, hours, &rng),
+        ),
+        (
+            "d",
+            "real trace 2 (daily, weekly)",
+            nutanix_trace(2, hours, &rng),
+        ),
+        (
+            "e",
+            "real trace 3 (daily, weekly)",
+            nutanix_trace(3, hours, &rng),
+        ),
+        (
+            "f",
+            "real trace 4 (daily, weekly)",
+            nutanix_trace(4, hours, &rng),
+        ),
+        (
+            "g",
+            "real trace 5 (daily, weekly)",
+            nutanix_trace(5, hours, &rng),
+        ),
         (
             "h",
             "long-lived mostly used (always active)",

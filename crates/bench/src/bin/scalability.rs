@@ -66,12 +66,7 @@ fn main() {
     let mut rng = SimRng::new(opts.seed);
 
     println!("§VII — placement scalability (one planning round)\n");
-    let mut table = TextTable::new(vec![
-        "VMs",
-        "Drowsy-DC ms",
-        "Multiplex ms",
-        "ratio",
-    ]);
+    let mut table = TextTable::new(vec!["VMs", "Drowsy-DC ms", "Multiplex ms", "ratio"]);
     let mut csv = String::from("n,drowsy_ms,multiplex_ms\n");
     let mut prev: Option<(usize, f64, f64)> = None;
     let mut slopes = Vec::new();
@@ -103,10 +98,7 @@ fn main() {
         csv.push_str(&format!("{n},{drowsy_ms:.4},{mult_ms:.4}\n"));
         if let Some((pn, pd, pm)) = prev {
             let k = (n as f64 / pn as f64).ln();
-            slopes.push((
-                (drowsy_ms / pd).ln() / k,
-                (mult_ms / pm).ln() / k,
-            ));
+            slopes.push(((drowsy_ms / pd).ln() / k, (mult_ms / pm).ln() / k));
         }
         prev = Some((n, drowsy_ms, mult_ms));
     }

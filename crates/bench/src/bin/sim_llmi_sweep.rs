@@ -52,9 +52,8 @@ fn main() {
         "vs Neat+S3",
         "vs Oasis",
     ]);
-    let mut csv = String::from(
-        "llmi_fraction,neat_kwh,neat_s3_kwh,oasis_kwh,drowsy_kwh,drowsy_susp\n",
-    );
+    let mut csv =
+        String::from("llmi_fraction,neat_kwh,neat_s3_kwh,oasis_kwh,drowsy_kwh,drowsy_susp\n");
     for &llmi in &fractions {
         let spec = mk_spec(llmi);
         let mut kwh = std::collections::HashMap::new();

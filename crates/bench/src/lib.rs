@@ -47,9 +47,8 @@ impl ExpOptions {
                 }
                 "--out" => {
                     i += 1;
-                    opts.out_dir = PathBuf::from(
-                        args.get(i).expect("--out needs a directory").clone(),
-                    );
+                    opts.out_dir =
+                        PathBuf::from(args.get(i).expect("--out needs a directory").clone());
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
             }

@@ -199,10 +199,7 @@ mod tests {
     fn population_respects_llmi_fraction() {
         let spec = small_spec(0.5);
         let vms = spec.vm_specs(1);
-        let llmi = vms
-            .iter()
-            .filter(|v| v.trace.duty_cycle() < 0.5)
-            .count();
+        let llmi = vms.iter().filter(|v| v.trace.duty_cycle() < 0.5).count();
         assert_eq!(vms.len(), 32);
         assert!((15..=17).contains(&llmi), "llmi count {llmi}");
     }
@@ -229,7 +226,11 @@ mod tests {
             drowsy.energy_kwh(),
             neat_off.energy_kwh()
         );
-        assert!(drowsy.suspension() > 0.3, "suspension {}", drowsy.suspension());
+        assert!(
+            drowsy.suspension() > 0.3,
+            "suspension {}",
+            drowsy.suspension()
+        );
     }
 
     #[test]

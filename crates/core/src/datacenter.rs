@@ -23,14 +23,19 @@
 //!   migrations.
 
 use crate::spec::{HostSpec, VmSpec, WorkloadKind};
-use dds_hostos::{Blacklist, Decision, Pid, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerId, TimerWheel};
+use dds_hostos::{
+    Blacklist, Decision, Pid, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerId,
+    TimerWheel,
+};
 use dds_idleness::{IdlenessModel, ImConfig};
 use dds_net::{HostMac, VmIp, WakingCluster, WakingConfig};
 use dds_placement::{
-    ClusterState, DrowsyConfig, DrowsyPlanner, FilterScheduler, HistoryBook, HostState,
-    NeatConfig, NeatPlanner, OasisConfig, OasisPlanner, VmState,
+    ClusterState, DrowsyConfig, DrowsyPlanner, FilterScheduler, HistoryBook, HostState, NeatConfig,
+    NeatPlanner, OasisConfig, OasisPlanner, VmState,
 };
-use dds_power::{DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, WakeSpeed};
+use dds_power::{
+    DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, WakeSpeed,
+};
 use dds_sim_core::time::CalendarStamp;
 use dds_sim_core::{HostId, RackId, SimDuration, SimRng, SimTime, VmId};
 use std::collections::{HashMap, HashSet};
@@ -356,8 +361,7 @@ impl Datacenter {
             drowsy: DrowsyPlanner::new(cfg.drowsy.clone()),
             neat: NeatPlanner::new(cfg.neat.clone()),
             oasis,
-            oasis_consolidation: oasis_consolidation_host
-                .filter(|_| algorithm == Algorithm::Oasis),
+            oasis_consolidation: oasis_consolidation_host.filter(|_| algorithm == Algorithm::Oasis),
             waking: WakingCluster::new(1, cfg.waking, start),
             blacklist,
             vm_hist: HistoryBook::new(48),
@@ -527,7 +531,11 @@ impl Datacenter {
         if resident.is_empty() {
             return 1.0; // empty host: confidently idle
         }
-        resident.iter().map(|v| v.im.probability(stamp)).sum::<f64>() / resident.len() as f64
+        resident
+            .iter()
+            .map(|v| v.im.probability(stamp))
+            .sum::<f64>()
+            / resident.len() as f64
     }
 
     /// Builds the placement view for the planners.
@@ -590,7 +598,10 @@ impl Datacenter {
         let h = &mut self.hosts[host.index()];
         let at = at.max(h.meter.cursor());
         h.meter.advance(at, h.power.state(), 0.0);
-        let done = h.power.begin_resume(at, latency).expect("resume from low power");
+        let done = h
+            .power
+            .begin_resume(at, latency)
+            .expect("resume from low power");
         h.meter.advance(done, PowerState::Resuming, 0.0);
         h.power.complete_transition(done).expect("resume completes");
         h.suspend.on_resume(done, ip_prob);
@@ -779,9 +790,9 @@ impl Datacenter {
                 let ch = self.oasis_consolidation.expect("consolidation host");
                 let mut neat_state = self.cluster_state(levels, scores);
                 neat_state.hosts.retain(|h| h.id != ch);
-                let plan = self
-                    .neat
-                    .plan(&neat_state, &self.vm_hist, &self.host_hist, &mut self.rng);
+                let plan =
+                    self.neat
+                        .plan(&neat_state, &self.vm_hist, &self.host_hist, &mut self.rng);
                 for m in &plan.migrations {
                     self.apply_move(m.vm, m.to, now);
                 }
@@ -883,8 +894,7 @@ impl Datacenter {
                 // hour start; packet wakes start at the first arrival.
                 let anticipated_wake = anticipated.contains(&hid)
                     || resident.iter().any(|&i| {
-                        self.vms[i].spec.kind == WorkloadKind::TimerDriven
-                            && levels[i] >= noise
+                        self.vms[i].spec.kind == WorkloadKind::TimerDriven && levels[i] >= noise
                     });
                 let wake_at = if anticipated_wake {
                     hour_start
@@ -894,8 +904,7 @@ impl Datacenter {
                     let rate: f64 = resident
                         .iter()
                         .filter(|&&i| {
-                            self.vms[i].spec.kind == WorkloadKind::Interactive
-                                && levels[i] >= noise
+                            self.vms[i].spec.kind == WorkloadKind::Interactive && levels[i] >= noise
                         })
                         .map(|&i| self.cfg.request_peak_rps * levels[i])
                         .sum();
@@ -910,9 +919,8 @@ impl Datacenter {
                 if self.cfg.track_sla && !anticipated_wake {
                     // The triggering request pays the full resume latency
                     // plus its service time.
-                    let ms = (done.saturating_since(wake_at)
-                        + self.cfg.request_service)
-                        .as_millis() as f64;
+                    let ms = (done.saturating_since(wake_at) + self.cfg.request_service).as_millis()
+                        as f64;
                     self.sla.total += 1;
                     self.sla.wake_hits += 1;
                     if ms > self.cfg.sla.as_millis() as f64 {
@@ -952,9 +960,9 @@ impl Datacenter {
                     return;
                 }
                 let host = &mut self.hosts[hid.index()];
-                let decision =
-                    host.suspend
-                        .decide(t, &host.procs, &self.blacklist, &host.timers);
+                let decision = host
+                    .suspend
+                    .decide(t, &host.procs, &self.blacklist, &host.timers);
                 match decision {
                     Decision::Suspend { waking_date } => {
                         host.meter.advance(t, PowerState::Active, util);
@@ -974,8 +982,7 @@ impl Datacenter {
                             .map(|v| (VmIp::of(v.spec.id), v.spec.id))
                             .collect();
                         let mac = HostMac::of(hid);
-                        self.waking
-                            .register_suspension(RACK, mac, vms, waking_date);
+                        self.waking.register_suspension(RACK, mac, vms, waking_date);
                         return;
                     }
                     Decision::StayAwake(dds_hostos::suspend::StayAwakeReason::GraceActive {
@@ -1062,11 +1069,7 @@ impl Datacenter {
             suspended_fraction,
             global_suspended_fraction: account.global_suspended_fraction(),
             energy_kwh: account.kwh(),
-            migrations: self
-                .vms
-                .iter()
-                .map(|v| (v.spec.id, v.migrations))
-                .collect(),
+            migrations: self.vms.iter().map(|v| (v.spec.id, v.migrations)).collect(),
             colocation,
             sla,
             suspend_cycles,
@@ -1091,9 +1094,7 @@ mod tests {
                 VmSpec::testbed_flavor(VmId(i as u32), format!("V{i}"), trace, kind)
             })
             .collect();
-        let placement: Vec<HostId> = (0..vms.len())
-            .map(|i| HostId((i % 2) as u32))
-            .collect();
+        let placement: Vec<HostId> = (0..vms.len()).map(|i| HostId((i % 2) as u32)).collect();
         let mut cfg = DcConfig::paper_default();
         cfg.track_sla = true;
         Datacenter::new(cfg, algorithm, hosts, vms, placement, None, 42)
@@ -1140,7 +1141,11 @@ mod tests {
         let out = dc.finish();
         assert_eq!(out.global_suspended_fraction, 0.0);
         // 2 hosts × 50 W × 48 h = 4.8 kWh.
-        assert!((out.energy_kwh - 4.8).abs() < 0.2, "energy {}", out.energy_kwh);
+        assert!(
+            (out.energy_kwh - 4.8).abs() < 0.2,
+            "energy {}",
+            out.energy_kwh
+        );
     }
 
     #[test]
@@ -1195,8 +1200,7 @@ mod tests {
     fn timer_driven_wakes_are_anticipated() {
         // A daily backup VM: the host suspends and is woken by schedule,
         // so no wake-hit latency is recorded.
-        let backup = TracePattern::paper_daily_backup()
-            .generate(72, &mut SimRng::new(1));
+        let backup = TracePattern::paper_daily_backup().generate(72, &mut SimRng::new(1));
         let mut dc = two_host_dc(
             Algorithm::NeatSuspend,
             vec![
@@ -1272,9 +1276,19 @@ mod tests {
             ];
             let vms = vec![
                 VmSpec::testbed_flavor(VmId(0), "V0", day_trace.clone(), WorkloadKind::Interactive),
-                VmSpec::testbed_flavor(VmId(1), "V1", idle_trace(24 * 7), WorkloadKind::Interactive),
+                VmSpec::testbed_flavor(
+                    VmId(1),
+                    "V1",
+                    idle_trace(24 * 7),
+                    WorkloadKind::Interactive,
+                ),
                 VmSpec::testbed_flavor(VmId(2), "V2", day_trace.clone(), WorkloadKind::Interactive),
-                VmSpec::testbed_flavor(VmId(3), "V3", idle_trace(24 * 7), WorkloadKind::Interactive),
+                VmSpec::testbed_flavor(
+                    VmId(3),
+                    "V3",
+                    idle_trace(24 * 7),
+                    WorkloadKind::Interactive,
+                ),
             ];
             let placement = vec![HostId(0), HostId(0), HostId(1), HostId(1)];
             let mut cfg = DcConfig::paper_default();
@@ -1293,7 +1307,10 @@ mod tests {
             drowsy < neat_s3,
             "Drowsy ({drowsy}) must beat Neat+S3 ({neat_s3})"
         );
-        assert!(neat_s3 < neat, "Neat+S3 ({neat_s3}) must beat Neat ({neat})");
+        assert!(
+            neat_s3 < neat,
+            "Neat+S3 ({neat_s3}) must beat Neat ({neat})"
+        );
     }
 
     #[test]
@@ -1397,7 +1414,10 @@ mod tests {
             WorkloadKind::Interactive,
         );
         assert_eq!(dc.admit_vm(spec).unwrap_err(), AdmitError::NoHostFits);
-        assert_eq!(format!("{}", AdmitError::NoHostFits), "no host passes the placement filters");
+        assert_eq!(
+            format!("{}", AdmitError::NoHostFits),
+            "no host passes the placement filters"
+        );
     }
 
     #[test]
@@ -1462,7 +1482,12 @@ mod tests {
         ];
         let vms = vec![
             VmSpec::testbed_flavor(VmId(0), "bk", backup, WorkloadKind::TimerDriven),
-            VmSpec::testbed_flavor(VmId(1), "idle", idle_trace(24 * 6), WorkloadKind::Interactive),
+            VmSpec::testbed_flavor(
+                VmId(1),
+                "idle",
+                idle_trace(24 * 6),
+                WorkloadKind::Interactive,
+            ),
         ];
         let mut cfg = DcConfig::paper_default();
         cfg.track_sla = true;
@@ -1490,10 +1515,16 @@ mod tests {
         // the all-suspended floor and the all-awake-at-peak ceiling.
         let mut rng = SimRng::new(21);
         for seed in 0..5u64 {
-            let t0 = TracePattern::RandomBursts { duty: rng.unit() * 0.8, intensity: 0.7 }
-                .generate(24 * 4, &mut SimRng::new(seed));
-            let t1 = TracePattern::RandomBursts { duty: rng.unit() * 0.8, intensity: 0.7 }
-                .generate(24 * 4, &mut SimRng::new(seed + 100));
+            let t0 = TracePattern::RandomBursts {
+                duty: rng.unit() * 0.8,
+                intensity: 0.7,
+            }
+            .generate(24 * 4, &mut SimRng::new(seed));
+            let t1 = TracePattern::RandomBursts {
+                duty: rng.unit() * 0.8,
+                intensity: 0.7,
+            }
+            .generate(24 * 4, &mut SimRng::new(seed + 100));
             let mut dc = two_host_dc(
                 Algorithm::DrowsyDc,
                 vec![
@@ -1506,8 +1537,16 @@ mod tests {
             let hours = 24.0 * 4.0;
             let floor = 2.0 * 5.0 * hours / 1000.0; // both hosts in S3
             let ceiling = 2.0 * 120.0 * hours / 1000.0; // both at peak
-            assert!(out.energy_kwh >= floor, "seed {seed}: {} < {floor}", out.energy_kwh);
-            assert!(out.energy_kwh <= ceiling, "seed {seed}: {} > {ceiling}", out.energy_kwh);
+            assert!(
+                out.energy_kwh >= floor,
+                "seed {seed}: {} < {floor}",
+                out.energy_kwh
+            );
+            assert!(
+                out.energy_kwh <= ceiling,
+                "seed {seed}: {} > {ceiling}",
+                out.energy_kwh
+            );
         }
     }
 
@@ -1523,7 +1562,11 @@ mod tests {
             );
             dc.run(48);
             let o = dc.finish();
-            (o.energy_kwh, o.total_migrations(), o.global_suspended_fraction)
+            (
+                o.energy_kwh,
+                o.total_migrations(),
+                o.global_suspended_fraction,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -107,11 +107,7 @@ pub struct TestbedOutcome {
 impl TestbedOutcome {
     /// Fraction of time spent suspended per pool host (Table I row).
     pub fn suspension_row(&self) -> Vec<f64> {
-        self.dc
-            .suspended_fraction
-            .iter()
-            .map(|(_, f)| *f)
-            .collect()
+        self.dc.suspended_fraction.iter().map(|(_, f)| *f).collect()
     }
 
     /// Global suspension fraction (Table I "Global" column).

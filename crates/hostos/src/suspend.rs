@@ -167,11 +167,7 @@ impl SuspendModule {
     }
 
     /// Runs the §IV idleness check against the process table.
-    pub fn check_idleness(
-        &self,
-        table: &ProcessTable,
-        blacklist: &Blacklist,
-    ) -> IdlenessCheck {
+    pub fn check_idleness(&self, table: &ProcessTable, blacklist: &Blacklist) -> IdlenessCheck {
         IdlenessCheck {
             active: table
                 .active_non_blacklisted(blacklist)
@@ -369,12 +365,10 @@ mod tests {
                 let base = cycle * 60;
                 // Ping: 2 s of activity; the host must resume for it.
                 table.set_state(pid, ProcState::Running);
-                assert!(!module
-                    .decide(t(base), &table, &bl, &timers)
-                    .is_suspend());
+                assert!(!module.decide(t(base), &table, &bl, &timers).is_suspend());
                 table.set_state(pid, ProcState::Sleeping { wake: None });
                 module.on_resume(t(base + 2), 0.0); // resumed for the ping
-                // Idle checks every 10 s until the next ping.
+                                                    // Idle checks every 10 s until the next ping.
                 for check in 1..6u64 {
                     if module
                         .decide(t(base + 2 + check * 10), &table, &bl, &timers)

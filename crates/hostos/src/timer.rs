@@ -48,12 +48,7 @@ impl TimerWheel {
     }
 
     /// Registers a timer; returns its id.
-    pub fn register(
-        &mut self,
-        expires: SimTime,
-        owner: Pid,
-        label: impl Into<String>,
-    ) -> TimerId {
+    pub fn register(&mut self, expires: SimTime, owner: Pid, label: impl Into<String>) -> TimerId {
         let id = TimerId(self.next_id);
         self.next_id += 1;
         self.tree.insert(
@@ -70,11 +65,7 @@ impl TimerWheel {
 
     /// Cancels a timer by id; O(n) scan acceptable at host scale.
     pub fn cancel(&mut self, id: TimerId) -> bool {
-        let key = self
-            .tree
-            .iter()
-            .find(|(_, e)| e.id == id)
-            .map(|(k, _)| *k);
+        let key = self.tree.iter().find(|(_, e)| e.id == id).map(|(k, _)| *k);
         match key {
             Some(k) => {
                 self.tree.remove(&k);

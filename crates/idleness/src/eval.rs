@@ -205,9 +205,8 @@ mod tests {
         // year 2): days before July = 181; the yearly component must be
         // negative and the deepest of the four.
         let days_before_event = 2 * 365 + 181 + 19;
-        let stamp = dds_sim_core::time::CalendarStamp::from_hour_index(
-            days_before_event as u64 * 24 + 14,
-        );
+        let stamp =
+            dds_sim_core::time::CalendarStamp::from_hour_index(days_before_event as u64 * 24 + 14);
         let si = model.si_vector(stamp);
         assert!(si[3] < 0.0, "yearly slot records the event: {si:?}");
         assert!(
@@ -242,10 +241,7 @@ mod tests {
                     }
                 }
                 let level = meter.close_hour();
-                model.observe_hour(
-                    CalendarStamp::from_hour_index(day * 24 + hour),
-                    level,
-                );
+                model.observe_hour(CalendarStamp::from_hour_index(day * 24 + hour), level);
             }
         }
         let busy = CalendarStamp::from_hour_index(30 * 24 + 9);

@@ -163,11 +163,7 @@ impl IdlenessModel {
     /// (eq. 1). Positive means the model leans *idle*.
     pub fn raw_score(&self, stamp: CalendarStamp) -> f64 {
         let si = self.si_vector(stamp);
-        self.weights
-            .iter()
-            .zip(si.iter())
-            .map(|(w, s)| w * s)
-            .sum()
+        self.weights.iter().zip(si.iter()).map(|(w, s)| w * s).sum()
     }
 
     /// The idleness probability `IP = (s + 1)/2 ∈ [0, 1]`.
@@ -414,7 +410,10 @@ mod tests {
         for day in 0..20u64 {
             m.observe_hour(stamp(day * 24 + 5), 0.001); // below threshold
         }
-        assert!(m.raw_score(stamp(20 * 24 + 5)) > 0.0, "noise counts as idle");
+        assert!(
+            m.raw_score(stamp(20 * 24 + 5)) > 0.0,
+            "noise counts as idle"
+        );
         assert_eq!(m.active_hours(), 0);
     }
 

@@ -36,7 +36,11 @@ pub struct PersistError {
 
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "idleness-model checkpoint, line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "idleness-model checkpoint, line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -286,7 +290,10 @@ mod tests {
         let text = m.to_checkpoint();
         let cut = &text[..text.len() - 5];
         let e = IdlenessModel::from_checkpoint(cut).unwrap_err();
-        assert!(e.reason.contains("truncated") || e.reason.contains("bad"), "{e}");
+        assert!(
+            e.reason.contains("truncated") || e.reason.contains("bad"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -121,9 +121,17 @@ impl RackSwitch {
                     .held
                     .keys()
                     .copied()
-                    .find(|&m| self.waking.vms_of(m).iter().any(|(ip, _)| *ip == packet.dst))
+                    .find(|&m| {
+                        self.waking
+                            .vms_of(m)
+                            .iter()
+                            .any(|(ip, _)| *ip == packet.dst)
+                    })
                     .expect("held verdict implies a drowsy host");
-                self.held.get_mut(&mac).expect("queue exists").push_back(packet);
+                self.held
+                    .get_mut(&mac)
+                    .expect("queue exists")
+                    .push_back(packet);
                 None
             }
         }

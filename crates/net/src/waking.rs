@@ -191,7 +191,10 @@ impl WakingModule {
         let Some(&mac) = self.vm_to_host.get(&dst) else {
             return PacketVerdict::Forward;
         };
-        let host = self.hosts.get_mut(&mac).expect("vm map and host map in sync");
+        let host = self
+            .hosts
+            .get_mut(&mac)
+            .expect("vm map and host map in sync");
         if host.wake_in_flight {
             return PacketVerdict::Hold;
         }
@@ -210,11 +213,7 @@ impl WakingModule {
     pub fn poll_schedule(&mut self, now: SimTime) -> Vec<WakeCommand> {
         let horizon = now + self.config.wake_lead;
         let mut commands = Vec::new();
-        let due: Vec<SimTime> = self
-            .schedule
-            .range(..=horizon)
-            .map(|(&d, _)| d)
-            .collect();
+        let due: Vec<SimTime> = self.schedule.range(..=horizon).map(|(&d, _)| d).collect();
         for date in due {
             let macs = self.schedule.remove(&date).unwrap_or_default();
             for mac in macs {
@@ -247,7 +246,10 @@ impl WakingModule {
 
     /// The VMs registered for a drowsy host (empty if unknown).
     pub fn vms_of(&self, mac: HostMac) -> &[(VmIp, VmId)] {
-        self.hosts.get(&mac).map(|h| h.vms.as_slice()).unwrap_or(&[])
+        self.hosts
+            .get(&mac)
+            .map(|h| h.vms.as_slice())
+            .unwrap_or(&[])
     }
 }
 

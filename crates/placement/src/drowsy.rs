@@ -172,8 +172,7 @@ impl DrowsyPlanner {
                     .and_then(|h| h.vms.iter().find(|v| v.id == vm_id))
                     .cloned()
                     .expect("vm still resident");
-                let Some(dest) = self.closest_ip_choose(&scratch, &vm, &overloaded_set)
-                else {
+                let Some(dest) = self.closest_ip_choose(&scratch, &vm, &overloaded_set) else {
                     continue;
                 };
                 let m = Migration {
@@ -194,11 +193,7 @@ impl DrowsyPlanner {
             .filter(|h| {
                 !h.is_empty()
                     && !overloaded_set.contains(&h.id)
-                    && self
-                        .config
-                        .neat
-                        .underload
-                        .is_underloaded(h.utilization())
+                    && self.config.neat.underload.is_underloaded(h.utilization())
             })
             .map(|h| h.id)
             .collect();
@@ -368,17 +363,14 @@ impl DrowsyPlanner {
                 if scratch.frozen.contains(&cand.id) {
                     continue;
                 }
-                let src_ram_ok = src.ram_used() - extreme.ram_mb + cand.ram_mb
-                    <= src.ram_capacity;
-                let dst_ram_ok = other.ram_used() - cand.ram_mb + extreme.ram_mb
-                    <= other.ram_capacity;
+                let src_ram_ok = src.ram_used() - extreme.ram_mb + cand.ram_mb <= src.ram_capacity;
+                let dst_ram_ok =
+                    other.ram_used() - cand.ram_mb + extreme.ram_mb <= other.ram_capacity;
                 if !src_ram_ok || !dst_ram_ok {
                     continue;
                 }
-                let src_after =
-                    range_with(&src.vms, Some(extreme.id), Some(cand.ip_score));
-                let dst_after =
-                    range_with(&other.vms, Some(cand.id), Some(extreme.ip_score));
+                let src_after = range_with(&src.vms, Some(extreme.id), Some(cand.ip_score));
+                let dst_after = range_with(&other.vms, Some(cand.id), Some(extreme.ip_score));
                 let worst_after = src_after.max(dst_after);
                 let worst_before = range_src.max(other.ip_range());
                 // Accept only strict improvements of the worse range (or
@@ -566,7 +558,11 @@ mod tests {
             v
         };
         let state = ClusterState::new(vec![
-            host(0, 0, vec![mk(1, 2.4, -0.3), mk(2, 2.4, -0.3), mk(3, 2.4, 0.3)]),
+            host(
+                0,
+                0,
+                vec![mk(1, 2.4, -0.3), mk(2, 2.4, -0.3), mk(3, 2.4, 0.3)],
+            ),
             host(1, 0, vec![mk(4, 0.5, 0.3)]),
         ]);
         let (vm_hist, host_hist) = no_hist();

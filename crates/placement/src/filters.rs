@@ -176,10 +176,7 @@ impl FilterScheduler {
         // Normalize each weigher over the candidates, then combine.
         let mut totals = vec![0.0f64; candidates.len()];
         for (weight, weigher) in &self.weighers {
-            let raw: Vec<f64> = candidates
-                .iter()
-                .map(|h| weigher.weigh(h, vm))
-                .collect();
+            let raw: Vec<f64> = candidates.iter().map(|h| weigher.weigh(h, vm)).collect();
             let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let span = hi - lo;
@@ -288,10 +285,7 @@ mod tests {
     #[test]
     fn filter_lists_survivors() {
         let sched = FilterScheduler::nova_default();
-        let state = ClusterState::new(vec![
-            host(0, 1, vec![vm(1, 0.0, 0.0)]),
-            host(1, 1, vec![]),
-        ]);
+        let state = ClusterState::new(vec![host(0, 1, vec![vm(1, 0.0, 0.0)]), host(1, 1, vec![])]);
         let survivors = sched.filter(&state, &vm(9, 0.0, 0.0));
         assert_eq!(survivors.len(), 1);
         assert_eq!(survivors[0].id, HostId(1));

@@ -39,8 +39,6 @@ pub use drowsy::{DrowsyConfig, DrowsyPlanner};
 pub use filters::{FilterScheduler, HostFilter, HostWeigher};
 pub use history::HistoryBook;
 pub use multiplex::MultiplexPlanner;
-pub use neat::{
-    NeatConfig, NeatPlanner, OverloadPolicy, SelectionPolicy, UnderloadPolicy,
-};
+pub use neat::{NeatConfig, NeatPlanner, OverloadPolicy, SelectionPolicy, UnderloadPolicy};
 pub use oasis::{OasisConfig, OasisPlanner};
 pub use types::{ClusterState, ConsolidationPlan, HostState, Migration, VmState};

@@ -200,11 +200,7 @@ mod tests {
     fn already_colocated_pairs_stay() {
         let p = MultiplexPlanner::new(0.0);
         let (h, _) = anti_correlated_history(2);
-        let state = ClusterState::new(vec![host(
-            0,
-            2,
-            vec![vm(0, 0.1, 0.0), vm(1, 0.1, 0.0)],
-        )]);
+        let state = ClusterState::new(vec![host(0, 2, vec![vm(0, 0.1, 0.0), vm(1, 0.1, 0.0)])]);
         assert!(p.plan(&state, &h).migrations.is_empty());
     }
 

@@ -136,12 +136,7 @@ pub enum SelectionPolicy {
 
 impl SelectionPolicy {
     /// Picks the index of the next VM to migrate from `vms`.
-    pub fn pick(
-        &self,
-        vms: &[VmState],
-        history: &HistoryBook,
-        rng: &mut SimRng,
-    ) -> Option<usize> {
+    pub fn pick(&self, vms: &[VmState], history: &HistoryBook, rng: &mut SimRng) -> Option<usize> {
         if vms.is_empty() {
             return None;
         }
@@ -149,11 +144,7 @@ impl SelectionPolicy {
             SelectionPolicy::MinimumMigrationTime => vms
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.ram_mb
-                        .cmp(&b.ram_mb)
-                        .then(a.id.cmp(&b.id))
-                })
+                .min_by(|(_, a), (_, b)| a.ram_mb.cmp(&b.ram_mb).then(a.id.cmp(&b.id)))
                 .map(|(i, _)| i),
             SelectionPolicy::Random => Some(rng.below(vms.len() as u64) as usize),
             SelectionPolicy::MaximumCorrelation => {
@@ -164,13 +155,12 @@ impl SelectionPolicy {
                         .map(|(_, other)| history.correlation(vms[i].id, other.id))
                         .sum()
                 };
-                (0..vms.len())
-                    .max_by(|&a, &b| {
-                        score(a)
-                            .partial_cmp(&score(b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(vms[b].id.cmp(&vms[a].id))
-                    })
+                (0..vms.len()).max_by(|&a, &b| {
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(vms[b].id.cmp(&vms[a].id))
+                })
             }
         }
     }
@@ -247,9 +237,7 @@ impl NeatPlanner {
             // this model but kept explicit for heterogeneous extensions.
             let power_inc = (util_after - util_before) * host.cpu_capacity;
             let key = (power_inc, -util_after, host.id);
-            if best.is_none_or(|(p, u, id)| {
-                (key.0, key.1, key.2) < (p, u, id)
-            }) {
+            if best.is_none_or(|(p, u, id)| (key.0, key.1, key.2) < (p, u, id)) {
                 best = Some(key);
             }
         }
@@ -257,11 +245,7 @@ impl NeatPlanner {
     }
 
     /// Detects overloaded hosts.
-    pub fn overloaded_hosts(
-        &self,
-        state: &ClusterState,
-        host_hist: &HostHistories,
-    ) -> Vec<HostId> {
+    pub fn overloaded_hosts(&self, state: &ClusterState, host_hist: &HostHistories) -> Vec<HostId> {
         state
             .hosts
             .iter()
@@ -291,11 +275,7 @@ impl NeatPlanner {
             loop {
                 let host = scratch.host(host_id).expect("host exists");
                 let hist = host_hist.get(&host_id).map(Vec::as_slice).unwrap_or(&[]);
-                if !self
-                    .config
-                    .overload
-                    .is_overloaded(host.utilization(), hist)
-                {
+                if !self.config.overload.is_overloaded(host.utilization(), hist) {
                     break;
                 }
                 let Some(idx) = self.config.selection.pick(&host.vms, vm_hist, rng) else {
@@ -428,7 +408,9 @@ mod tests {
         let stable = vec![0.5; 20];
         assert!(p.threshold(&stable) > 0.95);
         // Volatile history → lower threshold (more conservative).
-        let volatile: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.2 } else { 0.8 }).collect();
+        let volatile: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.2 } else { 0.8 })
+            .collect();
         assert!(p.threshold(&volatile) < p.threshold(&stable));
     }
 

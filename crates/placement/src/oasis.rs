@@ -203,8 +203,7 @@ impl OasisPlanner {
                     *streak = 0;
                     continue;
                 }
-                if *streak < self.config.park_after_idle_hours || self.parked.contains(&vmst.id)
-                {
+                if *streak < self.config.park_after_idle_hours || self.parked.contains(&vmst.id) {
                     continue;
                 }
                 let need = self.parked_ram(vmst.ram_mb) as i64;
@@ -317,7 +316,7 @@ mod tests {
         demand(&mut v, 0.0);
         let state = ClusterState::new(vec![host(0, 0, vec![v.clone()]), host(9, 0, vec![])]);
         p.plan(&state); // parked
-        // Now the VM (living on host 9) becomes active.
+                        // Now the VM (living on host 9) becomes active.
         demand(&mut v, 0.6);
         let state = ClusterState::new(vec![host(0, 0, vec![]), host(9, 0, vec![v])]);
         let plan = p.plan(&state);
@@ -338,7 +337,7 @@ mod tests {
             host(9, 0, vec![]),
         ]);
         p.plan(&state); // parks VM 1 from host 0
-        // Origin host 0 is now occupied by another VM (cap 1).
+                        // Origin host 0 is now occupied by another VM (cap 1).
         demand(&mut v, 0.9);
         let squatter = vm(5, 0.1, 0.0);
         let state = ClusterState::new(vec![
@@ -365,10 +364,7 @@ mod tests {
         let mut v3 = vm(3, 0.0, 0.0);
         demand(&mut v3, 0.0);
         // Host 9: 16 GiB → fits two 6 GiB VMs at full size, not three.
-        let state = ClusterState::new(vec![
-            host(0, 0, vec![v1, v2, v3]),
-            host(9, 0, vec![]),
-        ]);
+        let state = ClusterState::new(vec![host(0, 0, vec![v1, v2, v3]), host(9, 0, vec![])]);
         let plan = p.plan(&state);
         assert_eq!(plan.park.len(), 2, "third VM exceeds parked capacity");
     }

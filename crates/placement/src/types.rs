@@ -280,20 +280,20 @@ impl ClusterState {
             .iter()
             .position(|h| h.id == s.host_b)
             .ok_or(PlanError::UnknownHost(s.host_b))?;
-        let va_pos = self.hosts[a_idx].position_of(s.vm_a).ok_or(
-            PlanError::VmNotOnSource(Migration {
+        let va_pos = self.hosts[a_idx]
+            .position_of(s.vm_a)
+            .ok_or(PlanError::VmNotOnSource(Migration {
                 vm: s.vm_a,
                 from: s.host_a,
                 to: s.host_b,
-            }),
-        )?;
-        let vb_pos = self.hosts[b_idx].position_of(s.vm_b).ok_or(
-            PlanError::VmNotOnSource(Migration {
+            }))?;
+        let vb_pos = self.hosts[b_idx]
+            .position_of(s.vm_b)
+            .ok_or(PlanError::VmNotOnSource(Migration {
                 vm: s.vm_b,
                 from: s.host_b,
                 to: s.host_a,
-            }),
-        )?;
+            }))?;
         // Capacity check with the departing VM already removed.
         let ram_a_after = self.hosts[a_idx].ram_used() - self.hosts[a_idx].vms[va_pos].ram_mb
             + self.hosts[b_idx].vms[vb_pos].ram_mb;
@@ -462,10 +462,7 @@ mod tests {
 
     #[test]
     fn apply_moves_vm() {
-        let mut s = ClusterState::new(vec![
-            host(0, 0, vec![vm(1, 0.5, 0.0)]),
-            host(1, 0, vec![]),
-        ]);
+        let mut s = ClusterState::new(vec![host(0, 0, vec![vm(1, 0.5, 0.0)]), host(1, 0, vec![])]);
         let m = Migration {
             vm: VmId(1),
             from: HostId(0),

@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn wake_speed_selects_latency() {
         let t = TransitionTimings::paper_default();
-        assert_eq!(t.resume_latency(WakeSpeed::Quick), SimDuration::from_millis(800));
+        assert_eq!(
+            t.resume_latency(WakeSpeed::Quick),
+            SimDuration::from_millis(800)
+        );
         assert_eq!(
             t.resume_latency(WakeSpeed::Normal),
             SimDuration::from_millis(1500)

@@ -268,7 +268,10 @@ mod tests {
         m.abort_suspend(t(6)).unwrap();
         assert_eq!(m.state(), PowerState::Active);
         assert_eq!(m.since(), t(6));
-        assert!(m.abort_suspend(t(7)).is_err(), "abort only while suspending");
+        assert!(
+            m.abort_suspend(t(7)).is_err(),
+            "abort only while suspending"
+        );
     }
 
     #[test]

@@ -236,8 +236,7 @@ mod tests {
         let mut r = SimRng::new(13);
         for lambda in [0.5, 4.0, 80.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.1,
                 "lambda {lambda}: mean was {mean}"
@@ -270,8 +269,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -148,8 +148,7 @@ impl Percentiles {
         }
         self.ensure_sorted();
         let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         Some(self.samples[rank - 1])
     }
 
@@ -263,14 +262,7 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
@@ -351,6 +343,25 @@ mod tests {
         assert_eq!(p.quantile(0.5), None);
         assert_eq!(p.fraction_at_most(10.0), 0.0);
         assert!(p.is_empty());
+        // Every query on an empty reservoir is total — no panics, no NaNs.
+        assert_eq!(p.quantile(0.0), None);
+        assert_eq!(p.quantile(1.0), None);
+        assert_eq!(p.median(), None);
+        assert_eq!(p.max(), None);
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut p = Percentiles::new();
+        p.push(7.5);
+        // Nearest-rank on one sample: every quantile is that sample, and
+        // out-of-range q clamps instead of indexing out of bounds.
+        for q in [-1.0, 0.0, 0.25, 0.5, 1.0, 2.0] {
+            assert_eq!(p.quantile(q), Some(7.5), "q = {q}");
+        }
+        assert_eq!(p.max(), Some(7.5));
     }
 
     #[test]

@@ -479,6 +479,48 @@ mod tests {
     }
 
     #[test]
+    fn year_and_month_boundary_hours_roundtrip() {
+        // The last hour of a year and the first/last hour of every month
+        // are where the hour-index decomposition can slip by one; pin
+        // them all for year 0 and across the year-0/year-1 seam.
+        let mut first_day_of_month = 0u64;
+        for (m, &len) in MONTH_LENGTHS.iter().enumerate() {
+            for day in [first_day_of_month, first_day_of_month + len as u64 - 1] {
+                for hour in [0u64, 23] {
+                    let hour_index = day * 24 + hour;
+                    let c = CalendarStamp::from_hour_index(hour_index);
+                    assert_eq!(c.month as usize, m, "hour_index {hour_index}");
+                    assert_eq!(c.to_time(), SimTime::from_hours(hour_index));
+                }
+            }
+            first_day_of_month += len as u64;
+        }
+        let last_of_year = CalendarStamp::from_hour_index(HOURS_PER_YEAR - 1);
+        assert_eq!(last_of_year.year, 0);
+        assert_eq!(last_of_year.month, 11);
+        assert_eq!(last_of_year.hour, 23);
+        assert_eq!(last_of_year.day_of_year, (DAYS_PER_YEAR - 1) as u16);
+        let first_of_next = CalendarStamp::from_hour_index(HOURS_PER_YEAR);
+        assert_eq!(first_of_next.year, 1);
+        assert_eq!(first_of_next.month, 0);
+        assert_eq!(first_of_next.day_of_year, 0);
+        assert_eq!(first_of_next.hour, 0);
+    }
+
+    #[test]
+    fn far_future_hours_roundtrip() {
+        // Multi-century instants keep decomposing exactly (u64 headroom).
+        for hour_index in [
+            1_000 * HOURS_PER_YEAR - 1,
+            1_000 * HOURS_PER_YEAR,
+            u32::MAX as u64,
+        ] {
+            let c = CalendarStamp::from_hour_index(hour_index);
+            assert_eq!(c.to_time(), SimTime::from_hours(hour_index));
+        }
+    }
+
+    #[test]
     fn floor_and_next_hour() {
         let t = SimTime::from_millis(MILLIS_PER_HOUR * 5 + 1234);
         assert_eq!(t.floor_hour(), SimTime::from_hours(5));

@@ -82,8 +82,8 @@ pub fn classify_with(trace: &VmTrace, cfg: &ClassifierConfig) -> VmClass {
     // window, with a dense duty cycle inside its lifetime.
     let lifetime = last_active + 1;
     if (lifetime as f64) < n as f64 * cfg.short_lived_fraction {
-        let lifetime_duty = levels[..lifetime].iter().filter(|&&x| x > 0.0).count() as f64
-            / lifetime as f64;
+        let lifetime_duty =
+            levels[..lifetime].iter().filter(|&&x| x > 0.0).count() as f64 / lifetime as f64;
         if lifetime_duty >= cfg.mostly_used_duty {
             return VmClass::Slmu;
         }

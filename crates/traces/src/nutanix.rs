@@ -62,8 +62,18 @@ fn profile(index: usize) -> Profile {
     match index {
         1 => Profile {
             windows: &[
-                Window { start: 9, end: 10, intensity: 0.22, weekday_mask: WEEKDAYS },
-                Window { start: 14, end: 16, intensity: 0.15, weekday_mask: WEEKDAYS },
+                Window {
+                    start: 9,
+                    end: 10,
+                    intensity: 0.22,
+                    weekday_mask: WEEKDAYS,
+                },
+                Window {
+                    start: 14,
+                    end: 16,
+                    intensity: 0.15,
+                    weekday_mask: WEEKDAYS,
+                },
             ],
             skip_chance: 0.05,
             spurious_chance: 0.01,
@@ -71,8 +81,18 @@ fn profile(index: usize) -> Profile {
         },
         2 => Profile {
             windows: &[
-                Window { start: 1, end: 3, intensity: 0.25, weekday_mask: ALL_DAYS },
-                Window { start: 8, end: 9, intensity: 0.08, weekday_mask: WEEKDAYS },
+                Window {
+                    start: 1,
+                    end: 3,
+                    intensity: 0.25,
+                    weekday_mask: ALL_DAYS,
+                },
+                Window {
+                    start: 8,
+                    end: 9,
+                    intensity: 0.08,
+                    weekday_mask: WEEKDAYS,
+                },
             ],
             skip_chance: 0.03,
             spurious_chance: 0.015,
@@ -80,23 +100,48 @@ fn profile(index: usize) -> Profile {
         },
         3 => Profile {
             windows: &[
-                Window { start: 8, end: 9, intensity: 0.20, weekday_mask: ALL_DAYS },
-                Window { start: 19, end: 20, intensity: 0.18, weekday_mask: ALL_DAYS },
+                Window {
+                    start: 8,
+                    end: 9,
+                    intensity: 0.20,
+                    weekday_mask: ALL_DAYS,
+                },
+                Window {
+                    start: 19,
+                    end: 20,
+                    intensity: 0.18,
+                    weekday_mask: ALL_DAYS,
+                },
             ],
             skip_chance: 0.04,
             spurious_chance: 0.01,
             spurious_intensity: 0.05,
         },
         4 => Profile {
-            windows: &[Window { start: 11, end: 14, intensity: 0.12, weekday_mask: WEEKDAYS }],
+            windows: &[Window {
+                start: 11,
+                end: 14,
+                intensity: 0.12,
+                weekday_mask: WEEKDAYS,
+            }],
             skip_chance: 0.08,
             spurious_chance: 0.02,
             spurious_intensity: 0.06,
         },
         5 => Profile {
             windows: &[
-                Window { start: 10, end: 12, intensity: 0.10, weekday_mask: MON_TUE },
-                Window { start: 22, end: 23, intensity: 0.06, weekday_mask: WEEKEND },
+                Window {
+                    start: 10,
+                    end: 12,
+                    intensity: 0.10,
+                    weekday_mask: MON_TUE,
+                },
+                Window {
+                    start: 22,
+                    end: 23,
+                    intensity: 0.06,
+                    weekday_mask: WEEKEND,
+                },
             ],
             skip_chance: 0.05,
             spurious_chance: 0.005,

@@ -211,8 +211,7 @@ impl TracePattern {
                 lifetime_hours,
                 intensity,
             } => {
-                let global_hour =
-                    stamp.to_time().hour_index() as usize;
+                let global_hour = stamp.to_time().hour_index() as usize;
                 if global_hour < lifetime_hours {
                     intensity
                 } else {
@@ -282,9 +281,7 @@ mod tests {
     #[test]
     fn daily_backup_runs_once_a_day() {
         let t = TracePattern::paper_daily_backup().generate(7 * 24, &mut rng());
-        let active: Vec<usize> = (0..t.hours())
-            .filter(|&h| t.levels()[h] > 0.0)
-            .collect();
+        let active: Vec<usize> = (0..t.hours()).filter(|&h| t.levels()[h] > 0.0).collect();
         assert_eq!(active.len(), 7, "one active hour per day");
         for (day, &h) in active.iter().enumerate() {
             assert_eq!(h, day * 24 + 2, "always at 02:00");
@@ -435,7 +432,10 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        assert_eq!(TracePattern::paper_daily_backup().label(), "daily-backup@02h");
+        assert_eq!(
+            TracePattern::paper_daily_backup().label(),
+            "daily-backup@02h"
+        );
         assert_eq!(TracePattern::paper_comic_strips().label(), "comic-strips");
         assert_eq!(TracePattern::AlwaysIdle.label(), "always-idle");
     }

@@ -14,7 +14,9 @@
 
 use drowsy_dc::idleness::{evaluate_model_on_trace, IdlenessModel};
 use drowsy_dc::sim::SimRng;
-use drowsy_dc::traces::{classify, llmi_fraction, nutanix_trace, periodicity, TracePattern, VmTrace};
+use drowsy_dc::traces::{
+    classify, llmi_fraction, nutanix_trace, periodicity, TracePattern, VmTrace,
+};
 
 fn main() {
     let rng = SimRng::new(31);
@@ -37,7 +39,11 @@ fn main() {
         .generate(hours, &mut rng.stream("batch")),
     );
 
-    println!("fleet audit — {} VMs, {} months of hourly activity\n", fleet.len(), months);
+    println!(
+        "fleet audit — {} VMs, {} months of hourly activity\n",
+        fleet.len(),
+        months
+    );
     println!(
         "{:<16} {:>8} {:>7} {:>7} {:>7}  class",
         "vm", "duty %", "ac(24)", "ac(168)", "period?"

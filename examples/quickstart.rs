@@ -15,7 +15,10 @@ fn main() {
     // workload, hourly consolidation, quick resume enabled.
     let spec = TestbedSpec::paper_default();
 
-    println!("Drowsy-DC quickstart — {} days on the paper's testbed\n", spec.days);
+    println!(
+        "Drowsy-DC quickstart — {} days on the paper's testbed\n",
+        spec.days
+    );
     println!(
         "{:<12} {:>10} {:>12} {:>12} {:>10}",
         "algorithm", "energy", "suspended", "SLA<200ms", "wake hits"

@@ -10,9 +10,7 @@
 //! the fault-tolerant waking cluster — narrating each step. It is the
 //! §IV/§V machinery of the paper in ~100 lines.
 
-use drowsy_dc::hostos::{
-    Blacklist, Decision, ProcState, ProcessTable, SuspendModule, TimerWheel,
-};
+use drowsy_dc::hostos::{Blacklist, Decision, ProcState, ProcessTable, SuspendModule, TimerWheel};
 use drowsy_dc::net::{HostMac, PacketVerdict, VmIp, WakingCluster, WakingConfig};
 use drowsy_dc::sim::{HostId, RackId, SimDuration, SimTime, VmId};
 
@@ -60,7 +58,10 @@ fn main() {
     println!("\nt=14:30  a request for {ip} hits the SDN switch:");
     match waking.handle_packet(rack, ip) {
         PacketVerdict::WakeAndHold(cmd) => {
-            println!("         WoL → {} (reason {:?}); packet held", cmd.mac, cmd.reason)
+            println!(
+                "         WoL → {} (reason {:?}); packet held",
+                cmd.mac, cmd.reason
+            )
         }
         other => panic!("unexpected verdict {other:?}"),
     }
@@ -70,7 +71,8 @@ fn main() {
 
     // Host comes back up ~800 ms later; grace time now guards against
     // instant re-suspension.
-    let up = SimTime::from_hours(14) + SimDuration::from_minutes(30) + SimDuration::from_millis(800);
+    let up =
+        SimTime::from_hours(14) + SimDuration::from_minutes(30) + SimDuration::from_millis(800);
     waking.on_host_resumed(rack, mac);
     suspender.on_resume(up, 0.9); // host considered 90 % likely idle
     println!(

@@ -46,7 +46,10 @@ fn suspension_gain_over_neat_matches_paper_shape() {
 fn colocation_matrix_is_symmetric_and_bounded() {
     let out = run_testbed(&spec(7, false), Algorithm::DrowsyDc, 42);
     for i in 0..8 {
-        assert!((out.dc.colocation[i][i] - 1.0).abs() < 1e-9, "diagonal is 100 %");
+        assert!(
+            (out.dc.colocation[i][i] - 1.0).abs() < 1e-9,
+            "diagonal is 100 %"
+        );
         for j in 0..8 {
             let a = out.dc.colocation[i][j];
             assert!((0.0..=1.0).contains(&a));
@@ -63,10 +66,7 @@ fn each_vm_is_always_somewhere() {
     let out = run_testbed(&spec(7, false), Algorithm::DrowsyDc, 42);
     for i in 0..8 {
         let row: f64 = out.dc.colocation[i].iter().sum();
-        assert!(
-            (1.0..=2.0 + 1e-9).contains(&row),
-            "row {i} sums to {row}"
-        );
+        assert!((1.0..=2.0 + 1e-9).contains(&row), "row {i} sums to {row}");
     }
 }
 

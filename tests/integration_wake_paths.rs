@@ -73,7 +73,9 @@ fn waking_cluster_survives_cascading_failures() {
         let replaced = cluster.monitor(SimTime::from_secs(dead as u64 + 1));
         assert_eq!(replaced, vec![RackId(dead)]);
         // State is intact after each failover.
-        assert!(cluster.module(RackId(dead)).is_drowsy(HostMac::of(HostId(dead))));
+        assert!(cluster
+            .module(RackId(dead))
+            .is_drowsy(HostMac::of(HostId(dead))));
     }
     assert_eq!(cluster.failovers(), 4);
     // All scheduled wakes still fire.
@@ -164,5 +166,9 @@ fn migration_wakes_are_charged() {
     // 2 hosts, 5 days: the absolute floor is everything suspended at 5 W.
     let floor_kwh = 2.0 * 5.0 * 24.0 * 5.0 / 1000.0;
     assert!(out.energy_kwh >= floor_kwh);
-    assert!(out.energy_kwh < floor_kwh * 3.0, "energy {}", out.energy_kwh);
+    assert!(
+        out.energy_kwh < floor_kwh * 3.0,
+        "energy {}",
+        out.energy_kwh
+    );
 }

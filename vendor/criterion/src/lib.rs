@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of the `criterion 0.5` API this
+//! workspace's benches use (see `vendor/README.md` for why external
+//! crates are vendored).
+//!
+//! It measures for real — median wall-clock time over a fixed-budget
+//! sampling loop, printed one line per benchmark — but performs no
+//! statistical analysis, HTML reporting or baseline comparison. The
+//! benches under `crates/bench/benches/` compile and run unchanged
+//! against either this stand-in or upstream criterion.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, 100, f);
+        self
+    }
+}
+
+/// A named benchmark group (`Criterion::benchmark_group`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, N, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        N: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// How per-iteration setup cost relates to the routine cost in
+/// `Bencher::iter_batched`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batch many iterations per setup. (The
+    /// stand-in always runs one routine call per setup, so the variants
+    /// only document intent.)
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// Exactly one routine call per setup.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while self.samples.len() < self.max_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while self.samples.len() < self.max_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        max_samples: sample_size.max(1),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{label:<50} median {median:>12.3?}  ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main()` for a bench target (used with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

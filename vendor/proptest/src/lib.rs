@@ -1,0 +1,148 @@
+//! Offline stand-in for the subset of the `proptest 1.x` API this
+//! workspace uses (see `vendor/README.md` for why external crates are
+//! vendored).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with `fn name(pat in strategy, ...)` bodies
+//!   and an optional `#![proptest_config(ProptestConfig::with_cases(n))]`
+//!   header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * range strategies (`0u64..100`, `0.0f64..=1.0`, …), tuple strategies,
+//!   [`collection::vec`] and [`arbitrary::any`];
+//! * `use proptest::prelude::*;`.
+//!
+//! Differences from upstream, by design: generation is exhaustive-random
+//! only (no shrinking — a failing case panics with the case number so it
+//! can be replayed; generation is deterministic per test name), and the
+//! default case count is 64 rather than 256 to keep `cargo test -q` quick
+//! on simulation-heavy properties.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items a property test needs in scope, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` expands to a plain
+/// `#[test]` function (the `#[test]` attribute is written by the caller,
+/// as in upstream proptest) that runs `body` against `config.cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; the config expression arrives
+/// as a plain capture so it can be used inside the per-function
+/// repetition.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(
+                        #[allow(unused_mut)]
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with formatted context) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            __l, __r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Inequality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            __l,
+            __r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}

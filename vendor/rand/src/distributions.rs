@@ -1,0 +1,138 @@
+//! Distributions: the `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A type that can produce values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<'a, T, D: Distribution<T> + ?Sized> Distribution<T> for &'a D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for a type: uniform over the full value
+/// range for integers and `bool`, uniform over `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform in [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that knows how to sample a `T` uniformly from itself.
+    pub trait SampleRange<T> {
+        /// Draws one sample; panics when the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Lemire-style unbiased bounded sampling on a `u64` span.
+    #[inline]
+    pub(crate) fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Rejection sampling over the biased zone keeps the draw exact.
+        let zone = span.wrapping_neg() % span; // = 2^64 mod span
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = {
+                let wide = (v as u128).wrapping_mul(span as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone {
+                return hi;
+            }
+        }
+    }
+
+    macro_rules! range_impl_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = sample_span(rng, span);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Full-width range: every value is fair game.
+                        return rng.next_u64() as $t;
+                    }
+                    let off = sample_span(rng, span as u64);
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_impl_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit: f64 = (rng.next_u64() >> 11) as f64
+                        * (1.0 / (1u64 << 53) as f64);
+                    let x = self.start as f64 + unit * (self.end as f64 - self.start as f64);
+                    // Floating rounding can land exactly on `end`; clamp out.
+                    if x as $t >= self.end { self.start } else { x as $t }
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let unit: f64 = (rng.next_u64() >> 11) as f64
+                        * (1.0 / (1u64 << 53) as f64);
+                    (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+                }
+            }
+        )*};
+    }
+    range_impl_float!(f32, f64);
+}

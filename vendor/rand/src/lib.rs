@@ -1,0 +1,146 @@
+//! Offline stand-in for the subset of the `rand 0.8` API this workspace
+//! uses (see `vendor/README.md` for why external crates are vendored).
+//!
+//! The workspace pins `rand = "0.8"` because `dds-sim-core` relies on the
+//! 0.8-line names: [`Error`], [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`RngCore::try_fill_bytes`] and
+//! [`distributions::Distribution`] — several of which were renamed or
+//! removed in rand 0.9 (`Error` is gone, `distributions` became `distr`,
+//! `gen` became `random`).
+//!
+//! The stand-in is fully deterministic: [`rngs::StdRng`] is xoshiro256++
+//! seeded through SplitMix64 (the reference seeding scheme from Blackman &
+//! Vigna), rather than the ChaCha12 generator real rand uses. Sequences
+//! therefore differ from upstream rand, but every property the simulation
+//! needs — reproducibility from a `u64` seed, decorrelation of nearby
+//! seeds, uniform `f64` in `[0, 1)` with 53-bit precision — holds.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+use core::fmt;
+
+/// Error type produced by fallible RNG operations.
+///
+/// The generators in this stand-in are infallible; the type exists so code
+/// written against `rand 0.8` (`RngCore::try_fill_bytes`) compiles.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of random bits.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible version of [`RngCore::fill_bytes`]; never fails here.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for [`rngs::StdRng`]).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64
+    /// exactly as rand 0.8 documents.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            for (b, sb) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = sb;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value the [`distributions::Standard`] distribution knows
+    /// how to produce (`f64` in `[0, 1)`, full-range integers, `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// Panics when the range is empty, like upstream rand.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let x: f64 = self.gen();
+        x < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Re-exports of the most common items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
