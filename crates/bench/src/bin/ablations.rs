@@ -7,8 +7,13 @@
 //!    without the purely IP-based consolidation step.
 //! 4. **Quick resume** (§V) — wake-hit latency with the optimized vs
 //!    stock resume path.
+//! 5. **SleepScale speed scaling** — cluster energy with and without the
+//!    DVFS-style frequency ladder (sleep-state selection held fixed).
+//! 6. **SleepScale deep sleep (S5)** — cluster energy with and without
+//!    sleep-state selection (frequency ladder held fixed).
 
 use dds_bench::{pct1, ExpOptions};
+use dds_core::cluster::{run_cluster_policy, ClusterSpec};
 use dds_core::datacenter::Algorithm;
 use dds_core::testbed::{run_testbed, TestbedSpec};
 use dds_hostos::{Blacklist, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerWheel};
@@ -122,6 +127,32 @@ fn main() {
         format!("{:.0} ms", quick.dc.sla.worst_wake_ms),
         format!("{:.0} ms", slow.dc.sla.worst_wake_ms),
         "latency (lower better)".to_string(),
+    ]);
+
+    // --- 5 & 6. SleepScale's two levers, each ablated in isolation on
+    // the §VI.B cluster scenario (mixed LLMI/LLMU population).
+    let mut cspec = ClusterSpec::paper_default(0.5);
+    cspec.hosts = 8;
+    cspec.vms = 32;
+    cspec.days = if opts.quick { 3 } else { 7 };
+    let sleepscale_kwh = |speed_scaling: bool, deep_sleep: bool| -> f64 {
+        let mut spec = cspec.clone();
+        spec.config.sleepscale.speed_scaling = speed_scaling;
+        spec.config.sleepscale.deep_sleep = deep_sleep;
+        run_cluster_policy(&spec, "sleepscale", opts.seed).energy_kwh()
+    };
+    let both_levers = sleepscale_kwh(true, true);
+    table.row(vec![
+        "sleepscale speed scaling (cluster)".to_string(),
+        format!("{both_levers:.1} kWh"),
+        format!("{:.1} kWh", sleepscale_kwh(false, true)),
+        "energy (lower better)".to_string(),
+    ]);
+    table.row(vec![
+        "sleepscale deep sleep S5 (cluster)".to_string(),
+        format!("{both_levers:.1} kWh"),
+        format!("{:.1} kWh", sleepscale_kwh(true, false)),
+        "energy (lower better)".to_string(),
     ]);
 
     println!("Ablations of Drowsy-DC design choices\n");

@@ -8,8 +8,16 @@
 //! This binary times one full planning round of the Drowsy-DC planner
 //! against the pairwise VM-multiplexing baseline at growing VM counts and
 //! fits the growth exponents (log–log slope between consecutive sizes).
+//!
+//! A second section times the §VI.B sweep *runner*: the same point grid
+//! executed serially and fanned out over all cores
+//! (`dds_core::sweep::run_sweep`), reporting the wall-clock speedup —
+//! the sweep is embarrassingly parallel, so it should approach the core
+//! count on idle machines.
 
 use dds_bench::ExpOptions;
+use dds_core::cluster::ClusterSpec;
+use dds_core::sweep::{auto_threads, llmi_grid, run_sweep};
 use dds_placement::{
     ClusterState, DrowsyConfig, DrowsyPlanner, HistoryBook, HostState, MultiplexPlanner, VmState,
 };
@@ -114,4 +122,48 @@ fn main() {
         );
         println!("paper claim: O(n) vs O(n²)");
     }
+
+    // --- sweep-runner thread scaling.
+    let policies = opts.policies_or(&["drowsy-dc", "neat-s3", "sleepscale"]);
+    let mk_spec = |llmi: f64| {
+        let mut spec = ClusterSpec::paper_default(llmi);
+        spec.hosts = 8;
+        spec.vms = 32;
+        spec.days = if opts.quick { 2 } else { 5 };
+        spec
+    };
+    let points = llmi_grid(&policies, &[0.25, 0.75], mk_spec, opts.seed);
+    let cores = auto_threads(points.len());
+    println!(
+        "\nsweep-runner scaling ({} points, {} worker(s) available)\n",
+        points.len(),
+        cores
+    );
+    let t0 = Instant::now();
+    let serial = run_sweep(&points, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = run_sweep(&points, 0);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    // Fan-out must never change results — spot-check before reporting.
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            a.outcome.energy_kwh().to_bits(),
+            b.outcome.energy_kwh().to_bits(),
+            "parallel sweep diverged from serial"
+        );
+    }
+    let mut sweep_table = TextTable::new(vec!["runner", "wall-clock s", "speedup"]);
+    sweep_table.row(vec![
+        "serial".to_string(),
+        format!("{serial_s:.2}"),
+        "1.0x".to_string(),
+    ]);
+    sweep_table.row(vec![
+        format!("{cores} thread(s)"),
+        format!("{parallel_s:.2}"),
+        format!("{:.1}x", serial_s / parallel_s.max(1e-9)),
+    ]);
+    println!("{}", sweep_table.render());
+    println!("(bit-identical outcomes in both modes; speedup tracks available cores)");
 }

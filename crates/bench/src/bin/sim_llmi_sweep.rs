@@ -5,27 +5,28 @@
 //! fraction of LLMI VMs in the DC, our system may improve up to 82 % upon
 //! vanilla OpenStack Neat. Also, our solution outperforms Oasis […] by an
 //! average of 81 %." The figure itself is on a page missing from the
-//! available scan; this sweep reconstructs it: total energy per algorithm
-//! as the LLMI share grows from 0 to 100 %.
+//! available scan; this sweep reconstructs it: total energy per policy as
+//! the LLMI share grows from 0 to 100 %.
+//!
+//! Policies are selected by registry name (`--policies
+//! drowsy-dc,sleepscale,…`; default: the paper's four plus SleepScale)
+//! and the point grid fans out over all cores (`--threads N`, 0 = auto)
+//! through `dds_core::sweep::run_sweep`, with deterministic,
+//! input-ordered results.
 //!
 //! Improvement definitions follow the paper's framing: savings are
 //! measured on the *suspendable* portion of the fleet's energy, i.e.
 //! against the vanilla always-on Neat deployment.
 
 use dds_bench::{pct0, ExpOptions};
-use dds_core::cluster::{run_cluster, ClusterSpec};
-use dds_core::datacenter::Algorithm;
+use dds_core::cluster::ClusterSpec;
+use dds_core::sweep::{auto_threads, llmi_grid, run_sweep};
 use dds_sim_core::stats::TextTable;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let algorithms = [
-        Algorithm::NeatNoSuspend,
-        Algorithm::NeatSuspend,
-        Algorithm::Oasis,
-        Algorithm::DrowsyDc,
-    ];
+    let policies = opts.policies_or(&["neat", "neat-s3", "oasis", "drowsy-dc", "sleepscale"]);
 
     let mk_spec = |llmi: f64| {
         let mut spec = ClusterSpec::paper_default(llmi);
@@ -37,51 +38,80 @@ fn main() {
         spec
     };
     let probe = mk_spec(0.5);
+    let points = llmi_grid(&policies, &fractions, mk_spec, opts.seed);
     println!(
-        "§VI.B — LLMI-fraction sweep ({} hosts, {} VMs, {} days)\n",
-        probe.hosts, probe.vms, probe.days
+        "§VI.B — LLMI-fraction sweep ({} hosts, {} VMs, {} days; {} points over {} threads)\n",
+        probe.hosts,
+        probe.vms,
+        probe.days,
+        points.len(),
+        if opts.threads == 0 {
+            auto_threads(points.len())
+        } else {
+            opts.threads.min(points.len())
+        },
     );
 
-    let mut table = TextTable::new(vec![
-        "LLMI %",
-        "Neat kWh",
-        "Neat+S3 kWh",
-        "Oasis kWh",
-        "Drowsy kWh",
-        "vs Neat",
-        "vs Neat+S3",
-        "vs Oasis",
-    ]);
-    let mut csv =
-        String::from("llmi_fraction,neat_kwh,neat_s3_kwh,oasis_kwh,drowsy_kwh,drowsy_susp\n");
-    for &llmi in &fractions {
-        let spec = mk_spec(llmi);
-        let mut kwh = std::collections::HashMap::new();
-        let mut susp = 0.0;
-        for alg in algorithms {
-            let out = run_cluster(&spec, alg, opts.seed);
-            if alg == Algorithm::DrowsyDc {
-                susp = out.suspension();
-            }
-            kwh.insert(alg, out.energy_kwh());
+    let outcomes = run_sweep(&points, opts.threads);
+
+    // One labelled column per policy, plus a "vs <baseline>" column for
+    // every paper baseline (Neat, Neat+S3, Oasis) that shares the lineup
+    // with Drowsy-DC — the three headline comparisons of §VI.B.
+    let mut header: Vec<String> = vec!["LLMI %".to_string()];
+    let labels: Vec<String> = policies
+        .iter()
+        .enumerate()
+        .map(|(k, _)| outcomes[k].label.clone())
+        .collect();
+    for label in &labels {
+        header.push(format!("{label} kWh"));
+    }
+    let drowsy = policies.iter().position(|p| p == "drowsy-dc");
+    let comparisons: Vec<(usize, &str)> =
+        [("neat", "Neat"), ("neat-s3", "Neat+S3"), ("oasis", "Oasis")]
+            .iter()
+            .filter(|_| drowsy.is_some())
+            .filter_map(|(name, label)| {
+                policies
+                    .iter()
+                    .position(|p| p == name)
+                    .map(|idx| (idx, *label))
+            })
+            .collect();
+    for (_, label) in &comparisons {
+        header.push(format!("vs {label}"));
+    }
+    let mut table = TextTable::new(header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let mut csv = String::from("llmi_fraction");
+    for p in &policies {
+        csv.push_str(&format!(",{p}_kwh,{p}_susp"));
+    }
+    csv.push('\n');
+
+    for (fi, &llmi) in fractions.iter().enumerate() {
+        let row_outcomes = &outcomes[fi * policies.len()..(fi + 1) * policies.len()];
+        let mut row = vec![pct0(llmi)];
+        for res in row_outcomes {
+            row.push(format!("{:.1}", res.outcome.energy_kwh()));
         }
-        let neat = kwh[&Algorithm::NeatNoSuspend];
-        let neat_s3 = kwh[&Algorithm::NeatSuspend];
-        let oasis = kwh[&Algorithm::Oasis];
-        let drowsy = kwh[&Algorithm::DrowsyDc];
-        table.row(vec![
-            pct0(llmi),
-            format!("{neat:.1}"),
-            format!("{neat_s3:.1}"),
-            format!("{oasis:.1}"),
-            format!("{drowsy:.1}"),
-            format!("{:+.0}%", (drowsy / neat - 1.0) * 100.0),
-            format!("{:+.0}%", (drowsy / neat_s3 - 1.0) * 100.0),
-            format!("{:+.0}%", (drowsy / oasis - 1.0) * 100.0),
-        ]);
-        csv.push_str(&format!(
-            "{llmi},{neat:.3},{neat_s3:.3},{oasis:.3},{drowsy:.3},{susp:.3}\n"
-        ));
+        if let Some(d) = drowsy {
+            let dd = row_outcomes[d].outcome.energy_kwh();
+            for &(b, _) in &comparisons {
+                let base = row_outcomes[b].outcome.energy_kwh();
+                row.push(format!("{:+.0}%", (dd / base - 1.0) * 100.0));
+            }
+        }
+        table.row(row);
+        csv.push_str(&format!("{llmi}"));
+        for res in row_outcomes {
+            csv.push_str(&format!(
+                ",{:.3},{:.3}",
+                res.outcome.energy_kwh(),
+                res.outcome.suspension()
+            ));
+        }
+        csv.push('\n');
     }
     println!("{}", table.render());
     opts.write_csv("sim_llmi_sweep.csv", &csv);

@@ -15,6 +15,11 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Output directory for CSV artifacts (`results/` by default).
     pub out_dir: PathBuf,
+    /// Control policies to run, by registry name (`--policies a,b,c`).
+    /// `None` = the binary's default lineup.
+    pub policies: Option<Vec<String>>,
+    /// Worker threads for sweep binaries (0 = one per available core).
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -23,6 +28,8 @@ impl Default for ExpOptions {
             quick: false,
             seed: 42,
             out_dir: PathBuf::from("results"),
+            policies: None,
+            threads: 0,
         }
     }
 }
@@ -30,7 +37,9 @@ impl Default for ExpOptions {
 impl ExpOptions {
     /// Parses `std::env::args()`.
     ///
-    /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`.
+    /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`,
+    /// `--policies <name,name,…>` (policy-registry names),
+    /// `--threads <n>` (0 = auto).
     pub fn from_args() -> Self {
         let mut opts = ExpOptions::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,11 +59,38 @@ impl ExpOptions {
                     opts.out_dir =
                         PathBuf::from(args.get(i).expect("--out needs a directory").clone());
                 }
+                "--policies" => {
+                    i += 1;
+                    let list = args
+                        .get(i)
+                        .expect("--policies needs a comma-separated list");
+                    opts.policies = Some(
+                        list.split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    );
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--threads needs a usize"));
+                }
                 other => eprintln!("ignoring unknown flag {other}"),
             }
             i += 1;
         }
         opts
+    }
+
+    /// The policies to run: the `--policies` selection, or `default`.
+    pub fn policies_or(&self, default: &[&str]) -> Vec<String> {
+        match &self.policies {
+            Some(list) => list.clone(),
+            None => default.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Writes a CSV artifact under the output directory, creating it as
@@ -97,6 +133,19 @@ mod tests {
         assert!(!o.quick);
         assert_eq!(o.seed, 42);
         assert_eq!(o.out_dir, PathBuf::from("results"));
+        assert_eq!(o.policies, None);
+        assert_eq!(o.threads, 0);
+    }
+
+    #[test]
+    fn policy_selection_falls_back_to_the_default_lineup() {
+        let mut o = ExpOptions::default();
+        assert_eq!(
+            o.policies_or(&["drowsy-dc", "neat"]),
+            vec!["drowsy-dc", "neat"]
+        );
+        o.policies = Some(vec!["sleepscale".to_string()]);
+        assert_eq!(o.policies_or(&["drowsy-dc"]), vec!["sleepscale"]);
     }
 
     #[test]
@@ -112,6 +161,7 @@ mod tests {
             quick: true,
             seed: 1,
             out_dir: dir.clone(),
+            ..Default::default()
         };
         opts.write_csv("t.csv", "a,b\n1,2\n");
         assert!(exists(&dir.join("t.csv")));

@@ -160,22 +160,51 @@ impl ClusterOutcome {
     }
 }
 
-/// Runs one cluster point under the given algorithm.
+/// Runs one cluster point under the given algorithm — a thin wrapper
+/// over [`run_cluster_policy`] via the algorithm's registry name.
 pub fn run_cluster(spec: &ClusterSpec, algorithm: Algorithm, seed: u64) -> ClusterOutcome {
-    let oasis = algorithm == Algorithm::Oasis;
-    let hosts = spec.host_specs(oasis);
+    run_cluster_policy(spec, algorithm.registry_name(), seed)
+}
+
+/// Runs one cluster point under a standard-registry policy selected by
+/// name (see [`PolicyRegistry`](crate::registry::PolicyRegistry)). Use
+/// [`run_cluster_policy_with`] to resolve names against a registry that
+/// carries custom entries.
+pub fn run_cluster_policy(spec: &ClusterSpec, policy_name: &str, seed: u64) -> ClusterOutcome {
+    run_cluster_policy_with(
+        &crate::registry::PolicyRegistry::standard(),
+        spec,
+        policy_name,
+        seed,
+    )
+}
+
+/// Runs one cluster point under a policy resolved by name in `registry`.
+/// When the policy needs an always-on consolidation host (Oasis-style
+/// parking), one extra cloud server is appended to the pool, as the
+/// paper's comparison does.
+///
+/// Panics on unknown policy names, listing the registered ones.
+pub fn run_cluster_policy_with(
+    registry: &crate::registry::PolicyRegistry,
+    spec: &ClusterSpec,
+    policy_name: &str,
+    seed: u64,
+) -> ClusterOutcome {
+    let entry = registry.get(policy_name).unwrap_or_else(|| {
+        panic!(
+            "unknown policy '{policy_name}' (registered: {})",
+            registry.names().join(", ")
+        )
+    });
+    let hosts = spec.host_specs(entry.needs_consolidation_host);
     let vms = spec.vm_specs(seed);
     let placement = spec.initial_placement(vms.len());
-    let consolidation = oasis.then_some(HostId(spec.hosts as u32));
-    let mut dc = Datacenter::new(
-        spec.config.clone(),
-        algorithm,
-        hosts,
-        vms,
-        placement,
-        consolidation,
-        seed,
-    );
+    let consolidation = entry
+        .needs_consolidation_host
+        .then_some(HostId(spec.hosts as u32));
+    let policy = entry.build(&spec.config, consolidation);
+    let mut dc = Datacenter::with_policy(spec.config.clone(), policy, hosts, vms, placement, seed);
     dc.run(spec.days * 24);
     ClusterOutcome {
         llmi_fraction: spec.llmi_fraction,

@@ -1,0 +1,306 @@
+//! The hourly control loop: activity scoring, policy-driven relocation
+//! rounds, process/timer refresh and the cluster snapshots planners
+//! consume.
+
+use super::*;
+
+impl Datacenter {
+    /// The host's idleness probability for the current hour — the mean of
+    /// its residents' model probabilities when the policy consumes
+    /// idleness models, the neutral 0.5 otherwise.
+    pub(super) fn host_ip_probability(&self, host: HostId) -> f64 {
+        if !self.policy.uses_idleness_scores() {
+            return 0.5; // no idleness models → neutral grace
+        }
+        let stamp = CalendarStamp::from_hour_index(self.hour);
+        let resident: Vec<&VmSim> = self
+            .vms
+            .iter()
+            .filter(|v| v.host == host && !v.parked && !v.departed)
+            .collect();
+        if resident.is_empty() {
+            return 1.0; // empty host: confidently idle
+        }
+        resident
+            .iter()
+            .map(|v| v.im.probability(stamp))
+            .sum::<f64>()
+            / resident.len() as f64
+    }
+
+    /// Builds the placement view for the planners.
+    pub(super) fn cluster_state(&self, levels: &[f64], scores: &[f64]) -> ClusterState {
+        let mut hosts: Vec<HostState> = self
+            .hosts
+            .iter()
+            .map(|h| HostState {
+                id: h.spec.id,
+                cpu_capacity: h.spec.cpu_cores,
+                ram_capacity: h.spec.ram_mb,
+                max_vms: h.spec.max_vms,
+                vms: Vec::new(),
+            })
+            .collect();
+        for vm in self.vms.iter().filter(|v| !v.departed) {
+            hosts[vm.host.index()].vms.push(VmState {
+                id: vm.spec.id,
+                vcpus: vm.spec.vcpus,
+                ram_mb: vm.spec.ram_mb,
+                cpu_demand: levels[vm.spec.id.index()] * vm.spec.vcpus,
+                ip_score: scores[vm.spec.id.index()],
+            });
+        }
+        let mut state = ClusterState::new(hosts);
+        let cooldown = self.cfg.migration_cooldown_hours;
+        for vm in &self.vms {
+            if let Some(last) = vm.last_migration_hour {
+                if self.hour.saturating_sub(last) < cooldown {
+                    state.freeze(vm.spec.id);
+                }
+            }
+        }
+        state
+    }
+
+    /// Duration of one live migration of `ram_mb` MiB.
+    pub(super) fn migration_time(&self, ram_mb: u64) -> SimDuration {
+        let bits = ram_mb as f64 * 1024.0 * 1024.0 * 8.0;
+        let secs = bits / (self.cfg.migration_bandwidth_gbps * 1e9);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Moves a VM between hosts at `now` (already validated by the
+    /// planner). Charges wake + transfer on both ends.
+    pub(super) fn apply_move(&mut self, vm_id: VmId, to: HostId, now: SimTime) {
+        let from = self.vms[vm_id.index()].host;
+        if from == to {
+            return;
+        }
+        let t0 = self.wake_for_management(from, now);
+        let t1 = self.wake_for_management(to, now);
+        let ready = t0.max(t1);
+        let transfer = self.migration_time(self.vms[vm_id.index()].spec.ram_mb);
+        let done = ready + transfer;
+        self.hosts[from.index()].forced_awake_until =
+            self.hosts[from.index()].forced_awake_until.max(done);
+        self.hosts[to.index()].forced_awake_until =
+            self.hosts[to.index()].forced_awake_until.max(done);
+        // Move the VM process and any pending timer.
+        let pid = self.vms[vm_id.index()].pid;
+        let state = self.hosts[from.index()]
+            .procs
+            .get(pid)
+            .map(|p| p.state)
+            .unwrap_or(ProcState::Sleeping { wake: None });
+        self.hosts[from.index()].procs.kill(pid);
+        let new_pid = self.hosts[to.index()].procs.spawn_vm_process(
+            format!("qemu-{}", self.vms[vm_id.index()].spec.name),
+            state,
+            Some(vm_id),
+        );
+        if let Some((tid, expires)) = self.vms[vm_id.index()].timer.take() {
+            self.hosts[from.index()].timers.cancel(tid);
+            let new_tid = self.hosts[to.index()].timers.register(
+                expires,
+                new_pid,
+                format!("wake-{}", self.vms[vm_id.index()].spec.name),
+            );
+            self.vms[vm_id.index()].timer = Some((new_tid, expires));
+        }
+        self.vms[vm_id.index()].pid = new_pid;
+        self.vms[vm_id.index()].host = to;
+        self.vms[vm_id.index()].migrations += 1;
+        self.vms[vm_id.index()].last_migration_hour = Some(self.hour);
+    }
+
+    /// One control period.
+    pub fn step_hour(&mut self) {
+        let h = self.hour;
+        let stamp = CalendarStamp::from_hour_index(h);
+        let hour_start = SimTime::from_hours(h);
+        let hour_end = SimTime::from_hours(h + 1);
+        let noise = self.cfg.im.noise_threshold;
+
+        // --- activity levels and idleness scores for this hour.
+        let levels: Vec<f64> = self
+            .vms
+            .iter()
+            .map(|v| {
+                if v.departed {
+                    0.0
+                } else {
+                    v.spec.trace.level_at_hour(h)
+                }
+            })
+            .collect();
+        let scores: Vec<f64> = if self.policy.uses_idleness_scores() {
+            let horizon = self.cfg.ip_horizon_hours.max(1);
+            self.vms
+                .iter()
+                .map(|v| {
+                    (0..horizon)
+                        .map(|k| v.im.raw_score(CalendarStamp::from_hour_index(h + k)))
+                        .sum::<f64>()
+                        / horizon as f64
+                })
+                .collect()
+        } else {
+            vec![0.0; self.vms.len()]
+        };
+
+        // --- consolidation round.
+        if h.is_multiple_of(self.cfg.relocation_period_hours) {
+            self.consolidate(&levels, &scores, hour_start);
+        }
+
+        // --- process states & timers reflect this hour's activity.
+        self.refresh_processes(&levels, noise, h);
+
+        // --- scheduled wakes due now (waking module fires ahead of time).
+        let anticipated: HashSet<HostId> = self
+            .waking
+            .poll_schedules(hour_start)
+            .into_iter()
+            .map(|cmd| cmd.mac.host())
+            .collect();
+
+        // --- per-host hour simulation.
+        for hid in 0..self.hosts.len() {
+            self.simulate_host_hour(
+                HostId::from_index(hid),
+                &levels,
+                noise,
+                hour_start,
+                hour_end,
+                &anticipated,
+            );
+        }
+
+        // --- colocation bookkeeping.
+        if self.cfg.track_colocation {
+            for i in 0..self.vms.len() {
+                if self.vms[i].departed {
+                    continue;
+                }
+                for j in (i + 1)..self.vms.len() {
+                    if self.vms[j].departed {
+                        continue;
+                    }
+                    if self.vms[i].host == self.vms[j].host {
+                        self.coloc_hours[i][j] += 1;
+                        self.coloc_hours[j][i] += 1;
+                    }
+                }
+                self.coloc_hours[i][i] += 1;
+            }
+        }
+
+        // --- model updates & histories.
+        for (i, vm) in self.vms.iter_mut().enumerate() {
+            if vm.departed {
+                continue;
+            }
+            vm.im.observe_hour(stamp, levels[i]);
+            self.vm_hist.push(vm.spec.id, levels[i] * vm.spec.vcpus);
+        }
+        for host in &self.hosts {
+            let demand: f64 = self
+                .vms
+                .iter()
+                .filter(|v| v.host == host.spec.id && !v.parked && !v.departed)
+                .map(|v| levels[v.spec.id.index()] * v.spec.vcpus)
+                .sum();
+            self.host_hist
+                .entry(host.spec.id)
+                .or_default()
+                .push(demand / host.spec.cpu_cores.max(1e-9));
+        }
+        self.hour += 1;
+    }
+
+    /// Runs the policy's relocation rounds, re-snapshotting the cluster
+    /// between rounds (Oasis's parking pass must observe the state after
+    /// its packing pass), and applies each round's orders in plan order:
+    /// migrations, swaps, unparks, parks.
+    fn consolidate(&mut self, levels: &[f64], scores: &[f64], now: SimTime) {
+        for round in 0..self.policy.plan_rounds() {
+            let state = self.cluster_state(levels, scores);
+            let plan = self.policy.plan(
+                round,
+                &PlanningView {
+                    state: &state,
+                    vm_hist: &self.vm_hist,
+                    host_hist: &self.host_hist,
+                },
+                &mut self.rng,
+            );
+            for m in &plan.consolidation.migrations {
+                self.apply_move(m.vm, m.to, now);
+            }
+            for s in &plan.consolidation.swaps {
+                self.apply_move(s.vm_a, s.host_b, now);
+                self.apply_move(s.vm_b, s.host_a, now);
+            }
+            // Unpark first (frees consolidation capacity), then park.
+            for m in &plan.unpark {
+                self.apply_move(m.vm, m.to, now);
+                self.vms[m.vm.index()].parked = false;
+            }
+            for m in &plan.park {
+                self.vms[m.vm.index()].origin = self.vms[m.vm.index()].host;
+                self.apply_move(m.vm, m.to, now);
+                self.vms[m.vm.index()].parked = true;
+            }
+        }
+    }
+
+    /// Next hour (strictly after `h`) with activity, within one year.
+    pub(super) fn next_active_hour(trace: &dds_traces::VmTrace, h: u64, noise: f64) -> Option<u64> {
+        (h + 1..h + 1 + 8760).find(|&t| trace.level_at_hour(t) >= noise)
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexes vms, levels and hosts together
+    pub(super) fn refresh_processes(&mut self, levels: &[f64], noise: f64, h: u64) {
+        for i in 0..self.vms.len() {
+            if self.vms[i].departed {
+                continue;
+            }
+            let active = levels[i] >= noise && !self.vms[i].parked;
+            let host = self.vms[i].host.index();
+            let pid = self.vms[i].pid;
+            let state = if active {
+                ProcState::Running
+            } else {
+                ProcState::Sleeping { wake: None }
+            };
+            self.hosts[host].procs.set_state(pid, state);
+            // Timer-driven VMs expose their next activity as an hrtimer.
+            if self.vms[i].spec.kind == WorkloadKind::TimerDriven && !active {
+                let next = Self::next_active_hour(&self.vms[i].spec.trace, h, noise)
+                    .map(SimTime::from_hours);
+                match (self.vms[i].timer, next) {
+                    (Some((tid, cur)), Some(want)) if cur != want => {
+                        self.hosts[host].timers.cancel(tid);
+                        let tid = self.hosts[host].timers.register(
+                            want,
+                            pid,
+                            format!("wake-{}", self.vms[i].spec.name),
+                        );
+                        self.vms[i].timer = Some((tid, want));
+                    }
+                    (None, Some(want)) => {
+                        let tid = self.hosts[host].timers.register(
+                            want,
+                            pid,
+                            format!("wake-{}", self.vms[i].spec.name),
+                        );
+                        self.vms[i].timer = Some((tid, want));
+                    }
+                    _ => {}
+                }
+            } else if let Some((tid, _)) = self.vms[i].timer.take() {
+                self.hosts[host].timers.cancel(tid);
+            }
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The datacenter model: hosts, VMs, power, suspension, waking and the
+//! hourly control loop.
+//!
+//! The simulation advances in one-hour control periods (the idleness
+//! model's resolution) with sub-hour timing where it matters: suspend
+//! decisions (idle-detection delay + grace time), suspend/resume
+//! transitions (seconds), wake-on-packet offsets and migration transfers.
+//!
+//! ## Architecture
+//!
+//! The control loop itself is algorithm-agnostic; everything
+//! algorithm-specific is dispatched through the [`ControlPolicy`] trait
+//! from `dds-placement`. [`Algorithm`] survives as a thin back-compat
+//! constructor over the paper's four policies, and the
+//! [`PolicyRegistry`](crate::registry::PolicyRegistry) resolves policies
+//! by name for the experiment binaries. The module splits as:
+//!
+//! * [`mod@self`] — configuration, construction, VM lifecycle (admission,
+//!   departure) and the run/finish entry points;
+//! * `control` — the hourly control loop: scoring, relocation rounds,
+//!   process refresh and the cluster snapshots planners consume;
+//! * `wake` — the suspend/wake path: per-host hour simulation, resume
+//!   handling and management wakes;
+//! * `accounting` — SLA/request accounting and outcome assembly.
+//!
+//! ## Modelling choices (also catalogued in DESIGN.md)
+//!
+//! * A host must be awake for the whole part of an hour in which any
+//!   resident VM is active; suspension is only possible in fully idle
+//!   hours. This is conservative for Drowsy-DC (activity inside an hour
+//!   is not compacted) and matches how the paper's suspending module
+//!   behaves under its grace time at hourly activity granularity.
+//! * Timer-driven VMs register their next activity in the host's timer
+//!   wheel; the suspending module forwards the earliest valid timer as
+//!   the waking date, and the waking module resumes the host *ahead of
+//!   time*, so scheduled activity pays no latency (§VI.A.3's backup
+//!   experiment). Interactive VMs wake their host with the first packet
+//!   of the hour and that request pays the residual resume latency.
+//! * A swap (needed on fully packed clusters) is charged as two live
+//!   migrations.
+
+mod accounting;
+mod control;
+#[cfg(test)]
+mod tests;
+mod wake;
+
+use crate::spec::{HostSpec, VmSpec, WorkloadKind};
+use dds_hostos::{
+    Blacklist, Decision, Pid, ProcState, ProcessTable, SuspendConfig, SuspendModule, TimerId,
+    TimerWheel,
+};
+use dds_idleness::{IdlenessModel, ImConfig};
+use dds_net::{HostMac, VmIp, WakingCluster, WakingConfig};
+use dds_placement::policy::{ControlPolicy, PlanningView, SleepDepth};
+use dds_placement::{
+    ClusterState, DrowsyConfig, HistoryBook, HostState, NeatConfig, SleepScaleConfig, VmState,
+};
+use dds_power::{
+    DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, WakeSpeed,
+};
+use dds_sim_core::time::CalendarStamp;
+use dds_sim_core::{HostId, RackId, SimDuration, SimRng, SimTime, VmId};
+use std::collections::{HashMap, HashSet};
+
+/// Which control algorithm manages the datacenter.
+///
+/// This enum predates the pluggable [`ControlPolicy`] layer and survives
+/// as a convenient, exhaustive handle on the paper's four algorithms; it
+/// now *builds* policies ([`Algorithm::build_policy`]) instead of being
+/// dispatched on inside the control loop. New policies (e.g. SleepScale)
+/// have no `Algorithm` variant — select them through the
+/// [`PolicyRegistry`](crate::registry::PolicyRegistry) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's system: idleness-aware consolidation + suspension.
+    DrowsyDc,
+    /// OpenStack Neat consolidation with the same suspension machinery
+    /// (grace time fixed, no idleness models).
+    NeatSuspend,
+    /// OpenStack Neat, hosts always powered (the baseline real-world
+    /// deployment the paper bills 40 kWh for).
+    NeatNoSuspend,
+    /// Oasis-style hybrid consolidation via partial VM parking.
+    Oasis,
+}
+
+impl Algorithm {
+    /// Display label used by the experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::DrowsyDc => "Drowsy-DC",
+            Algorithm::NeatSuspend => "Neat+S3",
+            Algorithm::NeatNoSuspend => "Neat",
+            Algorithm::Oasis => "Oasis",
+        }
+    }
+
+    /// The policy-registry key of this algorithm (see
+    /// [`PolicyRegistry`](crate::registry::PolicyRegistry)).
+    pub fn registry_name(&self) -> &'static str {
+        match self {
+            Algorithm::DrowsyDc => "drowsy-dc",
+            Algorithm::NeatSuspend => "neat-s3",
+            Algorithm::NeatNoSuspend => "neat",
+            Algorithm::Oasis => "oasis",
+        }
+    }
+
+    /// True when hosts may enter S3 at all.
+    pub fn suspends(&self) -> bool {
+        !matches!(self, Algorithm::NeatNoSuspend)
+    }
+
+    /// Builds the control policy this algorithm names, configured from
+    /// `cfg`, by delegating to the standard
+    /// [`PolicyRegistry`](crate::registry::PolicyRegistry) (single source
+    /// of truth for policy construction). Oasis requires a consolidation
+    /// host.
+    pub fn build_policy(
+        &self,
+        cfg: &DcConfig,
+        oasis_consolidation_host: Option<HostId>,
+    ) -> Box<dyn ControlPolicy> {
+        crate::registry::PolicyRegistry::standard()
+            .build(self.registry_name(), cfg, oasis_consolidation_host)
+            .expect("every Algorithm has a standard-registry entry")
+    }
+}
+
+/// Error admitting a new VM into the datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Every host was discarded by the filters (no capacity).
+    NoHostFits,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::NoHostFits => write!(f, "no host passes the placement filters"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Datacenter configuration.
+#[derive(Debug, Clone)]
+pub struct DcConfig {
+    /// Host power model.
+    pub power: HostPowerModel,
+    /// Suspending-module configuration.
+    pub suspend: SuspendConfig,
+    /// Waking-module configuration.
+    pub waking: WakingConfig,
+    /// Resume speed (Drowsy-DC ships the quick-resume path).
+    pub wake_speed: WakeSpeed,
+    /// Idleness-model configuration.
+    pub im: ImConfig,
+    /// Hours between consolidation rounds (1 = the paper's periodic
+    /// full-relocation evaluation mode).
+    pub relocation_period_hours: u64,
+    /// Horizon over which the placement score aggregates the idleness
+    /// model: 1 = the paper's next-hour IP; larger values average the
+    /// next K hours, which stabilizes grouping for phase-shifted
+    /// workloads at the cost of coarser intra-day matching.
+    pub ip_horizon_hours: u64,
+    /// Drowsy planner configuration.
+    pub drowsy: DrowsyConfig,
+    /// Neat planner configuration.
+    pub neat: NeatConfig,
+    /// SleepScale policy configuration (used when the `sleepscale`
+    /// registry policy is selected).
+    pub sleepscale: SleepScaleConfig,
+    /// Working-set fraction parked by Oasis.
+    pub oasis_park_fraction: f64,
+    /// Delay before the suspending module notices a fully idle host
+    /// (its periodic check interval).
+    pub idle_detect_delay: SimDuration,
+    /// Live-migration bandwidth in Gbit/s.
+    pub migration_bandwidth_gbps: f64,
+    /// Hours a VM is pinned after a migration (cooldown honoured by the
+    /// opportunistic pass; prevents hour-chasing churn on phase-shifted
+    /// workloads).
+    pub migration_cooldown_hours: u64,
+    /// Peak request rate of an interactive VM at activity 1.0.
+    pub request_peak_rps: f64,
+    /// Mean request service time (awake host).
+    pub request_service: SimDuration,
+    /// The response-time SLA threshold.
+    pub sla: SimDuration,
+    /// Record the VM×VM colocation matrix (Fig. 2).
+    pub track_colocation: bool,
+    /// Record request latencies (SLA analysis).
+    pub track_sla: bool,
+}
+
+impl DcConfig {
+    /// The testbed configuration of §VI.A.
+    pub fn paper_default() -> Self {
+        DcConfig {
+            power: HostPowerModel::paper_default(),
+            suspend: SuspendConfig::paper_default(),
+            waking: WakingConfig::paper_default(),
+            wake_speed: WakeSpeed::Quick,
+            im: ImConfig::paper_default(),
+            relocation_period_hours: 1,
+            ip_horizon_hours: 1,
+            drowsy: DrowsyConfig::paper_default(),
+            neat: NeatConfig::paper_default(),
+            sleepscale: SleepScaleConfig::paper_default(),
+            oasis_park_fraction: 0.10,
+            idle_detect_delay: SimDuration::from_secs(30),
+            migration_bandwidth_gbps: 10.0,
+            migration_cooldown_hours: 8,
+            request_peak_rps: 2.0,
+            request_service: SimDuration::from_millis(60),
+            sla: SimDuration::from_millis(200),
+            track_colocation: true,
+            track_sla: true,
+        }
+    }
+}
+
+pub(crate) struct HostSim {
+    spec: HostSpec,
+    power: PowerStateMachine,
+    meter: EnergyMeter,
+    procs: ProcessTable,
+    timers: TimerWheel,
+    suspend: SuspendModule,
+    /// Hosts that must not suspend (policy-designated always-on hosts —
+    /// Oasis consolidation servers; every host under a non-suspending
+    /// policy).
+    always_on: bool,
+    /// Management operations (migrations) pin the host awake until here.
+    forced_awake_until: SimTime,
+}
+
+pub(crate) struct VmSim {
+    spec: VmSpec,
+    im: IdlenessModel,
+    host: HostId,
+    pid: Pid,
+    timer: Option<(TimerId, SimTime)>,
+    migrations: u32,
+    /// Hour index of the last migration (for the cooldown), or None.
+    last_migration_hour: Option<u64>,
+    /// Oasis: working set parked on a consolidation host.
+    parked: bool,
+    /// The VM has been destroyed (SLMU completion, tenant deletion); its
+    /// slot is kept so ids stay dense, but it no longer exists anywhere.
+    departed: bool,
+    /// Oasis: host the VM faults back to.
+    origin: HostId,
+}
+
+/// Aggregate request-latency accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SlaStats {
+    /// Total requests considered.
+    pub total: u64,
+    /// Requests exceeding the SLA threshold.
+    pub over_sla: u64,
+    /// Requests that triggered (or raced) a host wake.
+    pub wake_hits: u64,
+    /// Worst wake-hit latency observed (ms).
+    pub worst_wake_ms: f64,
+    /// Mean non-wake service latency (ms).
+    pub mean_service_ms: f64,
+}
+
+impl SlaStats {
+    /// Fraction of requests within the SLA.
+    pub fn within_sla(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        1.0 - self.over_sla as f64 / self.total as f64
+    }
+}
+
+/// Outcome of a datacenter run.
+#[derive(Debug, Clone)]
+pub struct DcOutcome {
+    /// Display label of the policy that produced this outcome (e.g.
+    /// `"Drowsy-DC"`, `"SleepScale"`).
+    pub policy: String,
+    /// Hours simulated.
+    pub hours: u64,
+    /// Per-host low-power-time fraction (Table I rows; S3 and S5 both
+    /// count — the paper's four policies only ever reach S3).
+    pub suspended_fraction: Vec<(HostId, f64)>,
+    /// Global low-power fraction (Table I "Global").
+    pub global_suspended_fraction: f64,
+    /// Total energy in kWh (§VI.A.3).
+    pub energy_kwh: f64,
+    /// Per-VM migration counts (Fig. 2 last column).
+    pub migrations: Vec<(VmId, u32)>,
+    /// Colocation fraction matrix, `coloc[i][j]` = fraction of hours VMs
+    /// i and j shared a host (Fig. 2), when tracked.
+    pub colocation: Vec<Vec<f64>>,
+    /// Request SLA accounting, when tracked.
+    pub sla: SlaStats,
+    /// Suspend cycles per host (oscillation diagnostics).
+    pub suspend_cycles: Vec<(HostId, u64)>,
+}
+
+impl DcOutcome {
+    /// Total migrations across all VMs.
+    pub fn total_migrations(&self) -> u32 {
+        self.migrations.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// The simulated datacenter.
+pub struct Datacenter {
+    cfg: DcConfig,
+    policy: Box<dyn ControlPolicy>,
+    hosts: Vec<HostSim>,
+    vms: Vec<VmSim>,
+    waking: WakingCluster,
+    blacklist: Blacklist,
+    vm_hist: HistoryBook,
+    host_hist: HashMap<HostId, Vec<f64>>,
+    rng: SimRng,
+    hour: u64,
+    coloc_hours: Vec<Vec<u64>>,
+    sla: SlaStats,
+    service_ms_sum: f64,
+    service_ms_count: u64,
+}
+
+const RACK: RackId = RackId(0);
+
+impl Datacenter {
+    /// Builds a datacenter managed by one of the paper's four
+    /// [`Algorithm`]s — a thin back-compat wrapper over
+    /// [`Datacenter::with_policy`].
+    pub fn new(
+        cfg: DcConfig,
+        algorithm: Algorithm,
+        host_specs: Vec<HostSpec>,
+        vm_specs: Vec<VmSpec>,
+        placement: Vec<HostId>,
+        oasis_consolidation_host: Option<HostId>,
+        seed: u64,
+    ) -> Self {
+        let policy = algorithm.build_policy(&cfg, oasis_consolidation_host);
+        Self::with_policy(cfg, policy, host_specs, vm_specs, placement, seed)
+    }
+
+    /// Builds a datacenter with the given hosts, VMs and initial
+    /// placement (`placement[i]` = host of VM i; must respect capacity),
+    /// managed by an arbitrary [`ControlPolicy`].
+    pub fn with_policy(
+        cfg: DcConfig,
+        policy: Box<dyn ControlPolicy>,
+        host_specs: Vec<HostSpec>,
+        vm_specs: Vec<VmSpec>,
+        placement: Vec<HostId>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(vm_specs.len(), placement.len(), "placement covers every VM");
+        let start = SimTime::EPOCH;
+        let blacklist = Blacklist::standard();
+        let suspend_cfg = policy.shape_suspend_config(&cfg.suspend);
+        let mut hosts: Vec<HostSim> = host_specs
+            .into_iter()
+            .map(|spec| {
+                let mut procs = ProcessTable::new();
+                procs.spawn("monitord", ProcState::Running);
+                HostSim {
+                    spec,
+                    power: PowerStateMachine::new(start),
+                    meter: EnergyMeter::new(cfg.power.clone(), start),
+                    procs,
+                    timers: TimerWheel::new(),
+                    suspend: SuspendModule::new(suspend_cfg.clone()),
+                    always_on: !policy.suspends(),
+                    forced_awake_until: start,
+                }
+            })
+            .collect();
+        for h in policy.always_on_hosts() {
+            hosts[h.index()].always_on = true;
+        }
+        let vms: Vec<VmSim> = vm_specs
+            .into_iter()
+            .zip(placement.iter())
+            .map(|(spec, &host)| {
+                let pid = hosts[host.index()].procs.spawn_vm_process(
+                    format!("qemu-{}", spec.name),
+                    ProcState::Sleeping { wake: None },
+                    Some(spec.id),
+                );
+                VmSim {
+                    spec,
+                    im: IdlenessModel::new(cfg.im.clone()),
+                    host,
+                    pid,
+                    timer: None,
+                    migrations: 0,
+                    last_migration_hour: None,
+                    parked: false,
+                    departed: false,
+                    origin: host,
+                }
+            })
+            .collect();
+        let n = vms.len();
+        Datacenter {
+            policy,
+            waking: WakingCluster::new(1, cfg.waking, start),
+            blacklist,
+            vm_hist: HistoryBook::new(48),
+            host_hist: HashMap::new(),
+            rng: SimRng::new(seed),
+            hour: 0,
+            coloc_hours: vec![vec![0; n]; n],
+            sla: SlaStats::default(),
+            service_ms_sum: 0.0,
+            service_ms_count: 0,
+            cfg,
+            hosts,
+            vms,
+        }
+    }
+
+    /// The current hour index.
+    pub fn hour(&self) -> u64 {
+        self.hour
+    }
+
+    /// Display label of the policy managing this datacenter.
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
+    }
+
+    /// Current VM → host assignment (diagnostics).
+    pub fn debug_placement(&self) -> Vec<(VmId, HostId)> {
+        self.vms.iter().map(|v| (v.spec.id, v.host)).collect()
+    }
+
+    /// Admits a new VM through the Nova-style filter scheduler (§III-D(a)):
+    /// filters discard unsuitable hosts, then weighers rank the rest —
+    /// Drowsy-DC adds its IP-proximity weigher so the newcomer lands on
+    /// the host whose idleness pattern best matches its (still
+    /// undetermined) score. Returns the chosen host.
+    ///
+    /// The spec's `id` is overwritten with the next dense id.
+    pub fn admit_vm(&mut self, mut spec: VmSpec) -> Result<HostId, AdmitError> {
+        let h = self.hour;
+        spec.id = VmId(self.vms.len() as u32);
+        let levels: Vec<f64> = self
+            .vms
+            .iter()
+            .map(|v| {
+                if v.departed {
+                    0.0
+                } else {
+                    v.spec.trace.level_at_hour(h)
+                }
+            })
+            .collect();
+        let stamp = CalendarStamp::from_hour_index(h);
+        let scores: Vec<f64> = if self.policy.uses_idleness_scores() {
+            self.vms.iter().map(|v| v.im.raw_score(stamp)).collect()
+        } else {
+            vec![0.0; self.vms.len()]
+        };
+        let state = self.cluster_state(&levels, &scores);
+        let candidate = VmState {
+            id: spec.id,
+            vcpus: spec.vcpus,
+            ram_mb: spec.ram_mb,
+            cpu_demand: spec.trace.level_at_hour(h) * spec.vcpus,
+            ip_score: 0.0, // fresh model: undetermined
+        };
+        let dest = self
+            .policy
+            .admission_scheduler()
+            .select(&state, &candidate)
+            .ok_or(AdmitError::NoHostFits)?;
+        // A sleeping destination must be woken to receive the VM.
+        let now = SimTime::from_hours(h);
+        let ready = self.wake_for_management(dest, now);
+        self.hosts[dest.index()].forced_awake_until =
+            self.hosts[dest.index()].forced_awake_until.max(ready);
+        let pid = self.hosts[dest.index()].procs.spawn_vm_process(
+            format!("qemu-{}", spec.name),
+            ProcState::Sleeping { wake: None },
+            Some(spec.id),
+        );
+        self.vms.push(VmSim {
+            im: IdlenessModel::new(self.cfg.im.clone()),
+            host: dest,
+            pid,
+            timer: None,
+            migrations: 0,
+            last_migration_hour: None,
+            parked: false,
+            departed: false,
+            origin: dest,
+            spec,
+        });
+        // Grow the colocation matrix.
+        let n = self.vms.len();
+        for row in &mut self.coloc_hours {
+            row.resize(n, 0);
+        }
+        self.coloc_hours.push(vec![0; n]);
+        Ok(dest)
+    }
+
+    /// Destroys a VM (SLMU completion, tenant deletion). Its host slot,
+    /// process and timers are released immediately; the id remains
+    /// allocated (dense ids) but inert. Returns false for unknown or
+    /// already-departed VMs.
+    pub fn remove_vm(&mut self, vm: VmId) -> bool {
+        let Some(v) = self.vms.get_mut(vm.index()) else {
+            return false;
+        };
+        if v.departed {
+            return false;
+        }
+        v.departed = true;
+        let host = v.host.index();
+        let pid = v.pid;
+        let timer = v.timer.take();
+        self.hosts[host].procs.kill(pid);
+        if let Some((tid, _)) = timer {
+            self.hosts[host].timers.cancel(tid);
+        }
+        self.vm_hist.forget(vm);
+        true
+    }
+
+    /// Number of live (non-departed) VMs.
+    pub fn live_vm_count(&self) -> usize {
+        self.vms.iter().filter(|v| !v.departed).count()
+    }
+
+    /// Fault injection: kills the rack's waking module. The heart-beat
+    /// monitor replaces it from its mirror at the next control period, so
+    /// drowsy-host state (including scheduled waking dates) survives —
+    /// the §V fault-tolerance property, exercised in vivo.
+    pub fn inject_waking_failure(&mut self) {
+        self.waking.inject_failure(RACK);
+        let now = SimTime::from_hours(self.hour);
+        let replaced = self.waking.monitor(now);
+        debug_assert_eq!(replaced.len(), 1);
+    }
+
+    /// Number of waking-module failovers performed so far.
+    pub fn waking_failovers(&self) -> u64 {
+        self.waking.failovers()
+    }
+
+    /// Runs `hours` control periods.
+    pub fn run(&mut self, hours: u64) {
+        for _ in 0..hours {
+            self.step_hour();
+        }
+    }
+}

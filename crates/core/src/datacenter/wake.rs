@@ -1,0 +1,218 @@
+//! The suspend/wake path: per-host hour simulation, resume handling and
+//! management wakes.
+
+use super::*;
+
+impl Datacenter {
+    pub(super) fn mac(&self, host: HostId) -> HostMac {
+        HostMac::of(host)
+    }
+
+    /// Wakes a host for a management operation at `now` (no-op if awake).
+    /// Returns the instant the host is operational.
+    pub(super) fn wake_for_management(&mut self, host: HostId, now: SimTime) -> SimTime {
+        let state = self.hosts[host.index()].power.state();
+        match state {
+            PowerState::Active => now.max(self.hosts[host.index()].meter.cursor()),
+            PowerState::Suspended | PowerState::Off => self.resume_host(host, now),
+            _ => now,
+        }
+    }
+
+    /// Resumes a host parked in S3 or S5 starting at `at`; returns
+    /// completion. S5 always pays the stock (slow) resume path — the
+    /// quick-resume work targets suspend-to-RAM.
+    pub(super) fn resume_host(&mut self, host: HostId, at: SimTime) -> SimTime {
+        let from_off = self.hosts[host.index()].power.state() == PowerState::Off;
+        let latency = if from_off {
+            self.cfg.power.timings.resume_normal
+        } else {
+            self.cfg.power.timings.resume_latency(self.cfg.wake_speed)
+        };
+        let ip_prob = self.host_ip_probability(host);
+        let mac = self.mac(host);
+        let h = &mut self.hosts[host.index()];
+        let at = at.max(h.meter.cursor());
+        h.meter.advance(at, h.power.state(), 0.0);
+        let done = h
+            .power
+            .begin_resume(at, latency)
+            .expect("resume_host invariant: only parked (S3/S5) hosts are resumed");
+        h.meter.advance(done, PowerState::Resuming, 0.0);
+        h.power
+            .complete_transition(done)
+            .expect("resume_host invariant: a begun resume always completes at its deadline");
+        h.suspend.on_resume(done, ip_prob);
+        self.waking.on_host_resumed(RACK, mac);
+        done
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn simulate_host_hour(
+        &mut self,
+        hid: HostId,
+        levels: &[f64],
+        noise: f64,
+        hour_start: SimTime,
+        hour_end: SimTime,
+        anticipated: &HashSet<HostId>,
+    ) {
+        let resident: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.host == hid && !v.parked && !v.departed)
+            .map(|(i, _)| i)
+            .collect();
+        let active = resident.iter().any(|&i| levels[i] >= noise);
+        let demand: f64 = resident
+            .iter()
+            .map(|&i| levels[i] * self.vms[i].spec.vcpus)
+            .sum();
+        let util = demand / self.hosts[hid.index()].spec.cpu_cores.max(1e-9);
+        // Speed scaling: the policy picks the hour's clock. Dynamic power
+        // scales with f² (voltage tracks frequency) and service times
+        // stretch by 1/f; f = 1 leaves the legacy arithmetic untouched.
+        let freq = self.policy.active_frequency(hid, util).clamp(1e-3, 1.0);
+        let metered_util = if freq < 1.0 { util * freq * freq } else { util };
+        let state = self.hosts[hid.index()].power.state();
+
+        if active {
+            if state.is_low_power() {
+                // Wake path: anticipated (timer) wakes complete at the
+                // hour start; packet wakes start at the first arrival.
+                let anticipated_wake = anticipated.contains(&hid)
+                    || resident.iter().any(|&i| {
+                        self.vms[i].spec.kind == WorkloadKind::TimerDriven && levels[i] >= noise
+                    });
+                let wake_at = if anticipated_wake {
+                    hour_start
+                } else {
+                    // First packet offset: exponential with the hour's
+                    // aggregate request rate. A very late packet is capped
+                    // so the resume (1.5 s from S5, configured speed from
+                    // S3) still completes within the hour.
+                    let rate: f64 = resident
+                        .iter()
+                        .filter(|&&i| {
+                            self.vms[i].spec.kind == WorkloadKind::Interactive && levels[i] >= noise
+                        })
+                        .map(|&i| self.cfg.request_peak_rps * levels[i])
+                        .sum();
+                    let offset = if rate > 0.0 {
+                        SimDuration::from_secs_f64(self.rng.exponential(1.0 / rate))
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    let resume = if state == PowerState::Off {
+                        self.cfg.power.timings.resume_normal
+                    } else {
+                        self.cfg.power.timings.resume_latency(self.cfg.wake_speed)
+                    };
+                    let headroom = resume.max(SimDuration::from_secs(1));
+                    (hour_start + offset).min(hour_end - headroom)
+                };
+                let done = self.resume_host(hid, wake_at);
+                if self.cfg.track_sla && !anticipated_wake {
+                    // The triggering request pays the full resume latency
+                    // plus its service time.
+                    let ms = (done.saturating_since(wake_at) + self.cfg.request_service).as_millis()
+                        as f64;
+                    self.sla.total += 1;
+                    self.sla.wake_hits += 1;
+                    if ms > self.cfg.sla.as_millis() as f64 {
+                        self.sla.over_sla += 1;
+                    }
+                    self.sla.worst_wake_ms = self.sla.worst_wake_ms.max(ms);
+                }
+                debug_assert!(done <= hour_end);
+            }
+            let h = &mut self.hosts[hid.index()];
+            h.meter.advance(hour_end, PowerState::Active, metered_util);
+            if self.cfg.track_sla {
+                self.record_service_requests(&resident, levels, noise, 1.0 / freq);
+            }
+        } else {
+            // Fully idle hour.
+            if state.is_low_power() {
+                let h = &mut self.hosts[hid.index()];
+                h.meter.advance(hour_end, state, 0.0);
+                return;
+            }
+            if self.hosts[hid.index()].always_on {
+                let h = &mut self.hosts[hid.index()];
+                h.meter.advance(hour_end, PowerState::Active, metered_util);
+                return;
+            }
+            // Candidate suspend instant: idle detection + management pin.
+            let mut t = (hour_start + self.cfg.idle_detect_delay)
+                .max(self.hosts[hid.index()].forced_awake_until)
+                .max(self.hosts[hid.index()].meter.cursor());
+            let suspend_latency = self.cfg.power.timings.suspend_latency;
+            let ip_prob = self.host_ip_probability(hid);
+            loop {
+                if t + suspend_latency >= hour_end {
+                    // Not enough idle time left: stay awake.
+                    let h = &mut self.hosts[hid.index()];
+                    h.meter.advance(hour_end, PowerState::Active, metered_util);
+                    return;
+                }
+                let host = &mut self.hosts[hid.index()];
+                let decision = host
+                    .suspend
+                    .decide(t, &host.procs, &self.blacklist, &host.timers);
+                match decision {
+                    Decision::Suspend { waking_date } => {
+                        // Sleep-state selection: the policy may deepen the
+                        // default S3 to S5 for long predicted idle periods.
+                        let depth = self.policy.idle_sleep_depth(hid, ip_prob, waking_date, t);
+                        host.meter.advance(t, PowerState::Active, metered_util);
+                        match depth {
+                            SleepDepth::Suspend => {
+                                let done = host.power.begin_suspend(t, suspend_latency).expect(
+                                    "suspend invariant: the host was Active when decide() passed",
+                                );
+                                host.meter.advance(done, PowerState::Suspending, 0.0);
+                                host.power.complete_transition(done).expect(
+                                    "suspend invariant: a begun suspend completes at its deadline",
+                                );
+                                host.meter.advance(hour_end, PowerState::Suspended, 0.0);
+                            }
+                            SleepDepth::Off => {
+                                // S5 soft-off: instantaneous at this model's
+                                // granularity; the NIC stays up for WoL.
+                                host.power.power_off(t).expect(
+                                    "suspend invariant: the host was Active when decide() passed",
+                                );
+                                host.meter.advance(hour_end, PowerState::Off, 0.0);
+                            }
+                        }
+                        host.meter.record_suspend_cycle();
+                        // Register with the waking module.
+                        let vms: Vec<(VmIp, VmId)> = self
+                            .vms
+                            .iter()
+                            .filter(|v| v.host == hid && !v.parked && !v.departed)
+                            .map(|v| (VmIp::of(v.spec.id), v.spec.id))
+                            .collect();
+                        let mac = HostMac::of(hid);
+                        self.waking.register_suspension(RACK, mac, vms, waking_date);
+                        return;
+                    }
+                    Decision::StayAwake(dds_hostos::suspend::StayAwakeReason::GraceActive {
+                        until,
+                    }) => {
+                        t = until.max(t + SimDuration::from_secs(1));
+                    }
+                    Decision::StayAwake(_) => {
+                        // Blocked by process state (e.g. monitoring noise
+                        // beyond the blacklist): stay awake this hour.
+                        let h = &mut self.hosts[hid.index()];
+                        h.meter.advance(hour_end, PowerState::Active, metered_util);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -4,30 +4,45 @@
 //! evaluates: a datacenter whose hosts carry power-state machines, energy
 //! meters, process tables, timer wheels and suspending modules; whose
 //! network carries a fault-tolerant waking-module cluster; and whose
-//! control plane runs one of four algorithms:
+//! control plane dispatches through the pluggable
+//! [`ControlPolicy`](dds_placement::policy::ControlPolicy) layer. The
+//! standard [`registry`] carries the paper's four algorithms plus the
+//! SleepScale-style joint speed-scaling + sleep-state policy:
 //!
-//! * [`Algorithm::DrowsyDc`] — idleness-model-driven consolidation with
-//!   host suspension (the contribution);
-//! * [`Algorithm::NeatSuspend`] — OpenStack Neat consolidation plus the
-//!   same suspension machinery (ablating the IP-aware placement);
-//! * [`Algorithm::NeatNoSuspend`] — plain Neat, hosts always on (the
-//!   "current real world case");
-//! * [`Algorithm::Oasis`] — hybrid consolidation via partial VM parking.
+//! * [`Algorithm::DrowsyDc`] / `"drowsy-dc"` — idleness-model-driven
+//!   consolidation with host suspension (the contribution);
+//! * [`Algorithm::NeatSuspend`] / `"neat-s3"` — OpenStack Neat
+//!   consolidation plus the same suspension machinery (ablating the
+//!   IP-aware placement);
+//! * [`Algorithm::NeatNoSuspend`] / `"neat"` — plain Neat, hosts always
+//!   on (the "current real world case");
+//! * [`Algorithm::Oasis`] / `"oasis"` — hybrid consolidation via partial
+//!   VM parking;
+//! * `"sleepscale"` — SleepScale-inspired DVFS + S3/S5 selection (no
+//!   legacy `Algorithm` variant: it exists purely through the policy
+//!   seam).
 //!
 //! Two ready-made scenarios reproduce the paper's evaluation:
 //!
 //! * [`testbed`] — the §VI.A six-machine OpenStack testbed (Fig. 2,
 //!   Table I, the kWh totals and the SLA analysis);
-//! * [`cluster`] — the §VI.B CloudSim-style sweep over the LLMI fraction.
+//! * [`cluster`] — the §VI.B CloudSim-style sweep over the LLMI
+//!   fraction, with a parallel fan-out runner in [`sweep`].
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod datacenter;
+pub mod registry;
 pub mod spec;
+pub mod sweep;
 pub mod testbed;
 
-pub use cluster::{run_cluster, ClusterOutcome, ClusterSpec};
+pub use cluster::{
+    run_cluster, run_cluster_policy, run_cluster_policy_with, ClusterOutcome, ClusterSpec,
+};
 pub use datacenter::{AdmitError, Algorithm, Datacenter, DcConfig, DcOutcome};
+pub use registry::{PolicyEntry, PolicyRegistry};
 pub use spec::{HostSpec, VmSpec, WorkloadKind};
+pub use sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};
 pub use testbed::{run_testbed, TestbedOutcome, TestbedSpec};

@@ -1,0 +1,243 @@
+//! String-keyed control-policy registry.
+//!
+//! Experiment binaries select policies by name (`--policies
+//! drowsy-dc,sleepscale`) instead of hardcoding an enum, so new
+//! [`ControlPolicy`] impls become sweepable by adding one registry entry
+//! — no control-loop or binary changes. The standard registry carries the
+//! paper's four algorithms plus the SleepScale-style policy:
+//!
+//! | name        | label      | policy |
+//! |-------------|------------|--------|
+//! | `drowsy-dc` | Drowsy-DC  | idleness-aware consolidation + S3 |
+//! | `neat-s3`   | Neat+S3    | OpenStack Neat + S3 |
+//! | `neat`      | Neat       | OpenStack Neat, always-on |
+//! | `oasis`     | Oasis      | hybrid consolidation via parking |
+//! | `sleepscale`| SleepScale | joint speed scaling + sleep states |
+
+use crate::datacenter::DcConfig;
+use dds_placement::policy::ControlPolicy;
+use dds_placement::{DrowsyPolicy, NeatPolicy, OasisConfig, OasisPolicy, SleepScalePolicy};
+use dds_sim_core::HostId;
+
+/// One registered policy: metadata plus a factory closing over nothing
+/// (plain `fn`, so entries are `Copy`/`Send`/`Sync` for the sweep runner).
+#[derive(Clone, Copy)]
+pub struct PolicyEntry {
+    /// Registry key (stable, kebab-case).
+    pub name: &'static str,
+    /// Display label the policy will report.
+    pub label: &'static str,
+    /// True when the scenario must provision an always-on consolidation
+    /// host for the policy (Oasis-style parking).
+    pub needs_consolidation_host: bool,
+    build: fn(&DcConfig, Option<HostId>) -> Box<dyn ControlPolicy>,
+}
+
+impl PolicyEntry {
+    /// Creates a registry entry from its metadata and factory.
+    pub fn new(
+        name: &'static str,
+        label: &'static str,
+        needs_consolidation_host: bool,
+        build: fn(&DcConfig, Option<HostId>) -> Box<dyn ControlPolicy>,
+    ) -> Self {
+        PolicyEntry {
+            name,
+            label,
+            needs_consolidation_host,
+            build,
+        }
+    }
+
+    /// Builds the policy from a datacenter configuration.
+    /// `consolidation_host` is required when
+    /// [`needs_consolidation_host`](Self::needs_consolidation_host) is set.
+    pub fn build(
+        &self,
+        cfg: &DcConfig,
+        consolidation_host: Option<HostId>,
+    ) -> Box<dyn ControlPolicy> {
+        (self.build)(cfg, consolidation_host)
+    }
+}
+
+impl std::fmt::Debug for PolicyEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyEntry")
+            .field("name", &self.name)
+            .field("label", &self.label)
+            .field("needs_consolidation_host", &self.needs_consolidation_host)
+            .finish()
+    }
+}
+
+/// The string-keyed policy registry.
+#[derive(Debug, Clone)]
+pub struct PolicyRegistry {
+    entries: Vec<PolicyEntry>,
+}
+
+impl PolicyRegistry {
+    /// The standard lineup: the paper's four algorithms plus SleepScale.
+    pub fn standard() -> Self {
+        PolicyRegistry {
+            entries: vec![
+                PolicyEntry {
+                    name: "drowsy-dc",
+                    label: "Drowsy-DC",
+                    needs_consolidation_host: false,
+                    build: |cfg, _| Box::new(DrowsyPolicy::new(cfg.drowsy.clone())),
+                },
+                PolicyEntry {
+                    name: "neat-s3",
+                    label: "Neat+S3",
+                    needs_consolidation_host: false,
+                    build: |cfg, _| Box::new(NeatPolicy::suspending(cfg.neat.clone())),
+                },
+                PolicyEntry {
+                    name: "neat",
+                    label: "Neat",
+                    needs_consolidation_host: false,
+                    build: |cfg, _| Box::new(NeatPolicy::always_on(cfg.neat.clone())),
+                },
+                PolicyEntry {
+                    name: "oasis",
+                    label: "Oasis",
+                    needs_consolidation_host: true,
+                    build: |cfg, ch| {
+                        let ch = ch.expect("Oasis needs a consolidation host");
+                        Box::new(OasisPolicy::new(
+                            OasisConfig {
+                                consolidation_hosts: vec![ch],
+                                park_fraction: cfg.oasis_park_fraction,
+                                // Parking is not instantaneous in Oasis: the
+                                // working set is trickled out and short idle
+                                // gaps are not worth the round trip. Two idle
+                                // hours at our resolution.
+                                park_after_idle_hours: 2,
+                            },
+                            cfg.neat.clone(),
+                        ))
+                    },
+                },
+                PolicyEntry {
+                    name: "sleepscale",
+                    label: "SleepScale",
+                    needs_consolidation_host: false,
+                    build: |cfg, _| Box::new(SleepScalePolicy::new(cfg.sleepscale.clone())),
+                },
+            ],
+        }
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[PolicyEntry] {
+        &self.entries
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&PolicyEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Registers a custom entry, replacing any existing entry of the same
+    /// name. Pass the registry to
+    /// [`run_cluster_policy_with`](crate::cluster::run_cluster_policy_with)
+    /// or [`run_sweep_with`](crate::sweep::run_sweep_with) to run the
+    /// custom policy.
+    pub fn register(&mut self, entry: PolicyEntry) {
+        self.entries.retain(|e| e.name != entry.name);
+        self.entries.push(entry);
+    }
+
+    /// Builds a policy by name. `None` for unknown names.
+    pub fn build(
+        &self,
+        name: &str,
+        cfg: &DcConfig,
+        consolidation_host: Option<HostId>,
+    ) -> Option<Box<dyn ControlPolicy>> {
+        self.get(name).map(|e| e.build(cfg, consolidation_host))
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datacenter::Algorithm;
+
+    #[test]
+    fn standard_registry_carries_the_paper_lineup_plus_sleepscale() {
+        let reg = PolicyRegistry::standard();
+        assert_eq!(
+            reg.names(),
+            vec!["drowsy-dc", "neat-s3", "neat", "oasis", "sleepscale"]
+        );
+        let cfg = DcConfig::paper_default();
+        for entry in reg.entries() {
+            let ch = entry.needs_consolidation_host.then_some(HostId(0));
+            let policy = entry.build(&cfg, ch);
+            assert_eq!(policy.label(), entry.label);
+        }
+        assert!(reg.get("nonsense").is_none());
+        assert!(reg.build("nonsense", &cfg, None).is_none());
+    }
+
+    #[test]
+    fn algorithm_names_resolve_in_the_registry() {
+        let reg = PolicyRegistry::standard();
+        let cfg = DcConfig::paper_default();
+        for alg in [
+            Algorithm::DrowsyDc,
+            Algorithm::NeatSuspend,
+            Algorithm::NeatNoSuspend,
+            Algorithm::Oasis,
+        ] {
+            let entry = reg
+                .get(alg.registry_name())
+                .expect("every Algorithm has a registry entry");
+            assert_eq!(entry.label, alg.label());
+            assert_eq!(
+                entry.needs_consolidation_host,
+                alg == Algorithm::Oasis,
+                "only Oasis needs a consolidation host"
+            );
+            let ch = entry.needs_consolidation_host.then_some(HostId(3));
+            assert_eq!(entry.build(&cfg, ch).label(), alg.label());
+        }
+    }
+
+    #[test]
+    fn custom_entries_can_be_registered_and_shadow_by_name() {
+        let mut reg = PolicyRegistry::standard();
+        reg.register(PolicyEntry {
+            name: "neat",
+            label: "Neat (custom)",
+            needs_consolidation_host: false,
+            build: |cfg, _| Box::new(dds_placement::NeatPolicy::always_on(cfg.neat.clone())),
+        });
+        assert_eq!(
+            reg.get("neat").expect("still present").label,
+            "Neat (custom)"
+        );
+        assert_eq!(reg.entries().len(), 5, "replaced, not duplicated");
+    }
+
+    #[test]
+    #[should_panic(expected = "Oasis needs a consolidation host")]
+    fn oasis_without_consolidation_host_panics() {
+        let reg = PolicyRegistry::standard();
+        let _ = reg.build("oasis", &DcConfig::paper_default(), None);
+    }
+}

@@ -24,6 +24,11 @@
 //!   scalability comparison with Drowsy-DC's O(n) scoring.
 //! * [`history`] — per-VM utilization histories consumed by the
 //!   correlation-based policies.
+//! * [`policy`] — the pluggable [`ControlPolicy`] layer the datacenter
+//!   controller dispatches through, with ready-made impls of the paper's
+//!   four algorithms.
+//! * [`sleepscale`] — a SleepScale-inspired joint speed-scaling +
+//!   sleep-state policy proving the seam admits genuinely new algorithms.
 
 #![warn(missing_docs)]
 
@@ -33,6 +38,8 @@ pub mod history;
 pub mod multiplex;
 pub mod neat;
 pub mod oasis;
+pub mod policy;
+pub mod sleepscale;
 pub mod types;
 
 pub use drowsy::{DrowsyConfig, DrowsyPlanner};
@@ -41,4 +48,8 @@ pub use history::HistoryBook;
 pub use multiplex::MultiplexPlanner;
 pub use neat::{NeatConfig, NeatPlanner, OverloadPolicy, SelectionPolicy, UnderloadPolicy};
 pub use oasis::{OasisConfig, OasisPlanner};
+pub use policy::{
+    ControlPlan, ControlPolicy, DrowsyPolicy, NeatPolicy, OasisPolicy, PlanningView, SleepDepth,
+};
+pub use sleepscale::{SleepScaleConfig, SleepScalePolicy};
 pub use types::{ClusterState, ConsolidationPlan, HostState, Migration, VmState};

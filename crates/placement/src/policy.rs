@@ -1,0 +1,447 @@
+//! The pluggable control-policy layer.
+//!
+//! The datacenter model in `dds-core` drives an hourly control loop that
+//! is algorithm-agnostic: activity levels, process states, energy meters
+//! and the suspend/wake machinery behave identically whichever control
+//! algorithm manages the fleet. Everything algorithm-*specific* — whether
+//! idleness models are consulted, which admission scheduler places new
+//! VMs, how the hourly relocation plan is computed, how deep an idle host
+//! may sleep, how fast an active host clocks — goes through the
+//! [`ControlPolicy`] trait defined here.
+//!
+//! The paper's four algorithms are provided as ready-made impls
+//! ([`DrowsyPolicy`], [`NeatPolicy`] with and without suspension,
+//! [`OasisPolicy`]); [`crate::sleepscale::SleepScalePolicy`] demonstrates
+//! that the seam is real by adding a SleepScale-inspired joint
+//! speed-scaling + sleep-state policy without touching the control loop.
+//!
+//! ## Contract highlights
+//!
+//! * Policies are **deterministic**: all randomness flows through the
+//!   [`SimRng`] handed to [`ControlPolicy::plan`], so a `(spec, policy,
+//!   seed)` triple replays bit-identically.
+//! * Planning is **round-based**: [`ControlPolicy::plan_rounds`] rounds
+//!   are executed per relocation period, and the controller re-snapshots
+//!   the cluster between rounds. Oasis needs this (its parking pass must
+//!   observe the state *after* the packing pass); single-pass policies
+//!   keep the default of one round.
+//! * The default method impls reproduce the "plain consolidation"
+//!   behaviour (no idleness models, Nova scheduler, S3 for idle hosts,
+//!   full clock speed), so a minimal policy only implements [`label`]
+//!   and [`plan`].
+//!
+//! [`label`]: ControlPolicy::label
+//! [`plan`]: ControlPolicy::plan
+
+use crate::filters::FilterScheduler;
+use crate::history::HistoryBook;
+use crate::neat::{HostHistories, NeatConfig, NeatPlanner};
+use crate::oasis::{OasisConfig, OasisPlanner};
+use crate::types::{ClusterState, ConsolidationPlan, Migration};
+use crate::{DrowsyConfig, DrowsyPlanner};
+use dds_hostos::SuspendConfig;
+use dds_sim_core::{HostId, SimRng, SimTime};
+
+/// How deep a fully idle host is allowed to sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepDepth {
+    /// S3 suspend-to-RAM — the paper's drowsy state (~5 W, fast resume).
+    Suspend,
+    /// S5 soft-off (~1 W, slow resume) — chosen by policies that predict
+    /// a long idle period, e.g. SleepScale's sleep-state selection.
+    Off,
+}
+
+/// Read-only snapshot handed to [`ControlPolicy::plan`].
+///
+/// `state` reflects the cluster *at the start of the current planning
+/// round* (the controller re-snapshots between rounds); the histories
+/// cover the trailing control periods.
+pub struct PlanningView<'a> {
+    /// Cluster snapshot: hosts, resident VMs, demands and IP scores.
+    pub state: &'a ClusterState,
+    /// Per-VM utilization histories (cores over trailing hours).
+    pub vm_hist: &'a HistoryBook,
+    /// Per-host normalized-utilization histories.
+    pub host_hist: &'a HostHistories,
+}
+
+/// One planning round's orders, applied by the controller in field order:
+/// `migrations`, then `swaps`, then `unpark`, then `park`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControlPlan {
+    /// Full live migrations and atomic swaps.
+    pub consolidation: ConsolidationPlan,
+    /// Partial-migration fault-backs (Oasis): the VM's working set
+    /// returns to its origin host and the VM stops being `parked`.
+    pub unpark: Vec<Migration>,
+    /// Partial migrations parking idle VMs on a consolidation host.
+    pub park: Vec<Migration>,
+}
+
+impl ControlPlan {
+    /// Wraps a plain consolidation plan (no parking orders).
+    pub fn from_consolidation(consolidation: ConsolidationPlan) -> Self {
+        ControlPlan {
+            consolidation,
+            ..Default::default()
+        }
+    }
+
+    /// True when the round changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.consolidation.is_empty() && self.unpark.is_empty() && self.park.is_empty()
+    }
+}
+
+/// A control algorithm managing the datacenter.
+///
+/// See the [module docs](self) for the contract. All methods except
+/// [`label`](Self::label) and [`plan`](Self::plan) have defaults that
+/// reproduce plain Neat-style behaviour.
+pub trait ControlPolicy: Send {
+    /// Display label used by experiment tables (e.g. `"Drowsy-DC"`).
+    fn label(&self) -> &'static str;
+
+    /// True when hosts may leave S0 at all. Policies returning `false`
+    /// (the always-on baseline) keep every host powered.
+    fn suspends(&self) -> bool {
+        true
+    }
+
+    /// True when the policy consumes the per-VM idleness models: the
+    /// controller then feeds IP scores into the cluster snapshots and
+    /// derives host idleness probabilities (which drive the suspending
+    /// module's adaptive grace time) from the models instead of the
+    /// neutral 0.5.
+    fn uses_idleness_scores(&self) -> bool {
+        false
+    }
+
+    /// The Nova-style filter scheduler admitting new VMs.
+    fn admission_scheduler(&self) -> FilterScheduler {
+        FilterScheduler::nova_default()
+    }
+
+    /// Shapes the per-host suspending-module configuration (e.g. a policy
+    /// could lengthen grace times or disable them). The default keeps the
+    /// fleet-wide base configuration.
+    fn shape_suspend_config(&self, base: &SuspendConfig) -> SuspendConfig {
+        base.clone()
+    }
+
+    /// Hosts that must never leave S0 regardless of activity (e.g. the
+    /// Oasis consolidation host holding parked working sets).
+    fn always_on_hosts(&self) -> Vec<HostId> {
+        Vec::new()
+    }
+
+    /// Number of planning rounds per relocation period. The controller
+    /// re-snapshots the cluster between rounds.
+    fn plan_rounds(&self) -> usize {
+        1
+    }
+
+    /// Computes the relocation plan for `round ∈ 0..plan_rounds()`.
+    fn plan(&mut self, round: usize, view: &PlanningView<'_>, rng: &mut SimRng) -> ControlPlan;
+
+    /// Sleep state for a host whose suspend check just passed.
+    ///
+    /// `ip_probability` is the host's idleness probability (0.5 when the
+    /// policy does not use idleness models), `waking_date` the earliest
+    /// valid timer the suspending module found. The default always picks
+    /// S3, matching the paper's suspending module.
+    fn idle_sleep_depth(
+        &self,
+        _host: HostId,
+        _ip_probability: f64,
+        _waking_date: Option<SimTime>,
+        _now: SimTime,
+    ) -> SleepDepth {
+        SleepDepth::Suspend
+    }
+
+    /// CPU frequency factor (fraction of nominal, in `(0, 1]`) for an
+    /// active host hour with the given normalized utilization. Policies
+    /// doing DVFS-style speed scaling return < 1 on lightly loaded hosts;
+    /// the controller scales dynamic power by `f²` and stretches request
+    /// service times by `1/f`. The default runs at full clock.
+    fn active_frequency(&self, _host: HostId, _utilization: f64) -> f64 {
+        1.0
+    }
+}
+
+/// The paper's contribution: idleness-model-driven consolidation
+/// ([`DrowsyPlanner`]) with IP-aware admission and IP-adaptive grace.
+#[derive(Debug, Clone)]
+pub struct DrowsyPolicy {
+    planner: DrowsyPlanner,
+}
+
+impl DrowsyPolicy {
+    /// Creates the policy from a planner configuration.
+    pub fn new(config: DrowsyConfig) -> Self {
+        DrowsyPolicy {
+            planner: DrowsyPlanner::new(config),
+        }
+    }
+}
+
+impl ControlPolicy for DrowsyPolicy {
+    fn label(&self) -> &'static str {
+        "Drowsy-DC"
+    }
+
+    fn uses_idleness_scores(&self) -> bool {
+        true
+    }
+
+    fn admission_scheduler(&self) -> FilterScheduler {
+        FilterScheduler::drowsy_default()
+    }
+
+    fn plan(&mut self, _round: usize, view: &PlanningView<'_>, rng: &mut SimRng) -> ControlPlan {
+        ControlPlan::from_consolidation(self.planner.plan(
+            view.state,
+            view.vm_hist,
+            view.host_hist,
+            rng,
+        ))
+    }
+}
+
+/// OpenStack Neat dynamic consolidation, with or without the S3
+/// suspension machinery (`Neat+S3` vs the always-on baseline).
+#[derive(Debug, Clone)]
+pub struct NeatPolicy {
+    planner: NeatPlanner,
+    suspend: bool,
+}
+
+impl NeatPolicy {
+    /// Neat consolidation plus host suspension (the paper's `Neat+S3`).
+    pub fn suspending(config: NeatConfig) -> Self {
+        NeatPolicy {
+            planner: NeatPlanner::new(config),
+            suspend: true,
+        }
+    }
+
+    /// Plain Neat, hosts always powered (the "current real world case").
+    pub fn always_on(config: NeatConfig) -> Self {
+        NeatPolicy {
+            planner: NeatPlanner::new(config),
+            suspend: false,
+        }
+    }
+}
+
+impl ControlPolicy for NeatPolicy {
+    fn label(&self) -> &'static str {
+        if self.suspend {
+            "Neat+S3"
+        } else {
+            "Neat"
+        }
+    }
+
+    fn suspends(&self) -> bool {
+        self.suspend
+    }
+
+    fn plan(&mut self, _round: usize, view: &PlanningView<'_>, rng: &mut SimRng) -> ControlPlan {
+        ControlPlan::from_consolidation(self.planner.plan(
+            view.state,
+            view.vm_hist,
+            view.host_hist,
+            rng,
+        ))
+    }
+}
+
+/// Oasis-style hybrid consolidation: classic full-migration packing (via
+/// Neat) in round 0, then partial-migration parking of idle VMs onto the
+/// always-on consolidation host in round 1 (which observes the cluster
+/// *after* the packing moves, as the real system would).
+#[derive(Debug, Clone)]
+pub struct OasisPolicy {
+    neat: NeatPlanner,
+    oasis: OasisPlanner,
+    consolidation_host: HostId,
+}
+
+impl OasisPolicy {
+    /// Creates the policy. `neat` drives the packing pass, `oasis` the
+    /// parking pass; the consolidation host is taken from `oasis` (first
+    /// entry) and reported always-on.
+    pub fn new(oasis: OasisConfig, neat: NeatConfig) -> Self {
+        let consolidation_host = *oasis
+            .consolidation_hosts
+            .first()
+            .expect("OasisPolicy invariant: at least one consolidation host configured");
+        OasisPolicy {
+            neat: NeatPlanner::new(neat),
+            oasis: OasisPlanner::new(oasis),
+            consolidation_host,
+        }
+    }
+
+    /// The always-on consolidation host.
+    pub fn consolidation_host(&self) -> HostId {
+        self.consolidation_host
+    }
+}
+
+impl ControlPolicy for OasisPolicy {
+    fn label(&self) -> &'static str {
+        "Oasis"
+    }
+
+    fn always_on_hosts(&self) -> Vec<HostId> {
+        vec![self.consolidation_host]
+    }
+
+    fn plan_rounds(&self) -> usize {
+        2
+    }
+
+    fn plan(&mut self, round: usize, view: &PlanningView<'_>, rng: &mut SimRng) -> ControlPlan {
+        if round == 0 {
+            // Packing pass on a view without the consolidation host —
+            // parked working sets are not packable material.
+            let mut packing_state = view.state.clone();
+            let ch = self.consolidation_host;
+            packing_state.hosts.retain(|h| h.id != ch);
+            ControlPlan::from_consolidation(self.neat.plan(
+                &packing_state,
+                view.vm_hist,
+                view.host_hist,
+                rng,
+            ))
+        } else {
+            let plan = self.oasis.plan(view.state);
+            ControlPlan {
+                consolidation: ConsolidationPlan::default(),
+                unpark: plan.unpark,
+                park: plan.park,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::testkit::{host, vm};
+
+    fn view_of(state: &ClusterState) -> (HistoryBook, HostHistories) {
+        let _ = state;
+        (HistoryBook::new(8), HostHistories::new())
+    }
+
+    #[test]
+    fn defaults_reproduce_plain_consolidation_behaviour() {
+        let mut p = NeatPolicy::suspending(NeatConfig::paper_default());
+        assert!(p.suspends());
+        assert!(!p.uses_idleness_scores());
+        assert!(p.always_on_hosts().is_empty());
+        assert_eq!(p.plan_rounds(), 1);
+        assert_eq!(p.active_frequency(HostId(0), 0.2), 1.0);
+        assert_eq!(
+            p.idle_sleep_depth(HostId(0), 0.9, None, SimTime::EPOCH),
+            SleepDepth::Suspend
+        );
+        let base = SuspendConfig::paper_default();
+        assert_eq!(p.shape_suspend_config(&base), base);
+
+        let state = ClusterState::new(vec![host(0, 0, vec![vm(0, 0.1, 0.0)]), host(1, 0, vec![])]);
+        let (vm_hist, host_hist) = view_of(&state);
+        let plan = p.plan(
+            0,
+            &PlanningView {
+                state: &state,
+                vm_hist: &vm_hist,
+                host_hist: &host_hist,
+            },
+            &mut SimRng::new(1),
+        );
+        // Underloaded single-VM cluster: Neat drains host 0 or does nothing,
+        // but never parks (that is Oasis-only vocabulary).
+        assert!(plan.unpark.is_empty() && plan.park.is_empty());
+    }
+
+    #[test]
+    fn labels_and_suspension_match_the_paper_lineup() {
+        assert_eq!(
+            DrowsyPolicy::new(DrowsyConfig::paper_default()).label(),
+            "Drowsy-DC"
+        );
+        assert_eq!(
+            NeatPolicy::suspending(NeatConfig::paper_default()).label(),
+            "Neat+S3"
+        );
+        let neat = NeatPolicy::always_on(NeatConfig::paper_default());
+        assert_eq!(neat.label(), "Neat");
+        assert!(!neat.suspends());
+        let oasis = OasisPolicy::new(
+            OasisConfig::paper_default(HostId(7)),
+            NeatConfig::paper_default(),
+        );
+        assert_eq!(oasis.label(), "Oasis");
+        assert_eq!(oasis.always_on_hosts(), vec![HostId(7)]);
+        assert_eq!(oasis.plan_rounds(), 2);
+    }
+
+    #[test]
+    fn drowsy_policy_uses_ip_machinery() {
+        let p = DrowsyPolicy::new(DrowsyConfig::paper_default());
+        assert!(p.uses_idleness_scores());
+        // The drowsy admission scheduler (with its IP-proximity weigher)
+        // must at least resolve a placement on a trivial cluster.
+        let state = ClusterState::new(vec![host(0, 0, vec![])]);
+        let newcomer = vm(0, 0.1, 0.0);
+        assert_eq!(
+            p.admission_scheduler().select(&state, &newcomer),
+            Some(HostId(0))
+        );
+    }
+
+    #[test]
+    fn oasis_round_zero_hides_the_consolidation_host() {
+        // One overloaded host, one empty pool host, one empty consolidation
+        // host: the packing pass must never target the consolidation host.
+        let mut p = OasisPolicy::new(
+            OasisConfig::paper_default(HostId(2)),
+            NeatConfig::paper_default(),
+        );
+        let state = ClusterState::new(vec![
+            host(0, 0, vec![vm(0, 7.9, 0.0), vm(1, 7.9, 0.0)]),
+            host(1, 0, vec![]),
+            host(2, 0, vec![]),
+        ]);
+        let (vm_hist, host_hist) = view_of(&state);
+        let view = PlanningView {
+            state: &state,
+            vm_hist: &vm_hist,
+            host_hist: &host_hist,
+        };
+        let plan = p.plan(0, &view, &mut SimRng::new(3));
+        for m in &plan.consolidation.migrations {
+            assert_ne!(m.to, HostId(2), "packing must avoid the consolidation host");
+        }
+    }
+
+    #[test]
+    fn control_plan_emptiness() {
+        assert!(ControlPlan::default().is_empty());
+        let plan = ControlPlan {
+            park: vec![Migration {
+                vm: dds_sim_core::VmId(0),
+                from: HostId(0),
+                to: HostId(1),
+            }],
+            ..Default::default()
+        };
+        assert!(!plan.is_empty());
+    }
+}

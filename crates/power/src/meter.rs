@@ -142,10 +142,12 @@ impl DcEnergyAccount {
         Self::default()
     }
 
-    /// Folds one host meter into the account.
+    /// Folds one host meter into the account. Low-power residency counts
+    /// S3 and S5 alike (policies doing sleep-state selection may park
+    /// hosts in either; the paper's four only ever reach S3).
     pub fn add_host(&mut self, meter: &EnergyMeter) {
         self.joules += meter.joules();
-        self.suspended += meter.residency(PowerState::Suspended);
+        self.suspended += meter.residency(PowerState::Suspended) + meter.residency(PowerState::Off);
         self.total += meter.total_time();
         self.hosts += 1;
     }
