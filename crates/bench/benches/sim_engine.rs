@@ -1,8 +1,9 @@
 //! Criterion bench: simulation-substrate hot paths — event queue
-//! throughput and one full datacenter control hour.
+//! throughput, one full datacenter control hour, and the event-engine
+//! drivers (legacy-compat epochs vs high-fidelity sub-hour events).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dds_core::datacenter::{Algorithm, Datacenter, DcConfig};
+use dds_core::datacenter::{Algorithm, Datacenter, DcConfig, DcEngine, EngineConfig};
 use dds_core::spec::{HostSpec, VmSpec, WorkloadKind};
 use dds_sim_core::{EventQueue, HostId, SimRng, SimTime, VmId};
 use dds_traces::TracePattern;
@@ -88,5 +89,39 @@ fn bench_control_hour(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_control_hour);
+fn bench_engine_drivers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(10);
+    // Epoch scheduling through the engine must cost ~nothing over the
+    // hand-rolled tick loop it replaced.
+    g.bench_function("legacy_epochs_24h_80vm", |b| {
+        b.iter_batched(
+            || build_dc(20, 80),
+            |mut dc| {
+                DcEngine::new(&mut dc, EngineConfig::legacy_compat()).run_hours(24);
+                dc
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    // Sub-hour fidelity: scheduled-wake events + heartbeat rounds.
+    g.bench_function("high_fidelity_24h_80vm", |b| {
+        b.iter_batched(
+            || build_dc(20, 80),
+            |mut dc| {
+                DcEngine::new(&mut dc, EngineConfig::high_fidelity()).run_hours(24);
+                dc
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_control_hour,
+    bench_engine_drivers
+);
 criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Event engine vs. hour-tick loop: equivalence check + driver benchmark.
+//!
+//! Three sections:
+//!
+//! 1. **Equivalence** — the same §VI.B cluster scenario driven (a) by
+//!    calling `step_hour` in a loop and (b) through `DcEngine` in
+//!    legacy-compat mode must produce **bit-identical** outcomes
+//!    (`f64::to_bits`). The process exits non-zero on divergence, so CI
+//!    can run this binary as the engine-vs-tick smoke check.
+//! 2. **Driver overhead** — wall-clock of both drivers on the same
+//!    scenario; the event engine's epoch scheduling must cost ~nothing
+//!    on top of the control work itself.
+//! 3. **Sub-hour fidelity** — the same scenario under
+//!    `EngineConfig::high_fidelity()`: scheduled wakes firing at true
+//!    lead-adjusted instants, heartbeats, variable-interval energy.
+//!    Reported as the energy delta and the pre-fired wake count.
+//!
+//! With `--json`, emits `BENCH_engine.json` for trend tracking.
+
+use dds_bench::{ExpOptions, JsonObject};
+use dds_core::cluster::ClusterSpec;
+use dds_core::datacenter::{Datacenter, DcEngine, EngineConfig};
+use dds_core::registry::PolicyRegistry;
+use dds_sim_core::stats::TextTable;
+use dds_sim_core::time::MILLIS_PER_HOUR;
+use dds_sim_core::HostId;
+use std::time::Instant;
+
+fn build(spec: &ClusterSpec, policy: &str, seed: u64) -> Datacenter {
+    let registry = PolicyRegistry::standard();
+    let entry = registry.get(policy).expect("standard policy name");
+    let hosts = spec.host_specs(entry.needs_consolidation_host);
+    let vms = spec.vm_specs(seed);
+    let placement = spec.initial_placement(vms.len());
+    let consolidation = entry
+        .needs_consolidation_host
+        .then_some(HostId(spec.hosts as u32));
+    let policy = entry.build(&spec.config, consolidation);
+    Datacenter::with_policy(spec.config.clone(), policy, hosts, vms, placement, seed)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mut spec = ClusterSpec::paper_default(0.6);
+    if opts.quick {
+        spec.hosts = 8;
+        spec.vms = 32;
+        spec.days = 3;
+    } else {
+        spec.hosts = 16;
+        spec.vms = 64;
+        spec.days = 7;
+    }
+    let hours = spec.days * 24;
+    let policies = opts.policies_or(&["drowsy-dc", "neat-s3", "sleepscale"]);
+
+    println!(
+        "engine vs tick ({} hosts, {} VMs, {} days)\n",
+        spec.hosts, spec.vms, spec.days
+    );
+    let mut table = TextTable::new(vec![
+        "policy",
+        "tick ms",
+        "engine ms",
+        "identical",
+        "hi-fi ms",
+        "hi-fi ΔkWh %",
+        "pre-fired wakes",
+    ]);
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+
+    for policy in &policies {
+        let t0 = Instant::now();
+        let mut ticked = build(&spec, policy, opts.seed);
+        for _ in 0..hours {
+            ticked.step_hour();
+        }
+        let tick_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let tick_out = ticked.finish();
+
+        let t0 = Instant::now();
+        let mut evented = build(&spec, policy, opts.seed);
+        DcEngine::new(&mut evented, EngineConfig::legacy_compat()).run_hours(hours);
+        let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let engine_out = evented.finish();
+
+        let identical = tick_out.energy_kwh.to_bits() == engine_out.energy_kwh.to_bits()
+            && tick_out.global_suspended_fraction.to_bits()
+                == engine_out.global_suspended_fraction.to_bits()
+            && tick_out.total_migrations() == engine_out.total_migrations();
+        all_identical &= identical;
+
+        let t0 = Instant::now();
+        let mut hifi = build(&spec, policy, opts.seed);
+        DcEngine::new(&mut hifi, EngineConfig::high_fidelity()).run_hours(hours);
+        let hifi_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // Scheduled wakes the engine pre-fired: the WoL went out at
+        // `waking date − wake_lead`, i.e. `wake_lead` before an hour
+        // boundary (timer waking dates land on boundaries).
+        let lead = spec.config.waking.wake_lead.as_millis();
+        let pre_fired = hifi
+            .wake_log()
+            .iter()
+            .filter(|w| w.started.as_millis() % MILLIS_PER_HOUR == MILLIS_PER_HOUR - lead)
+            .count();
+        let hifi_out = hifi.finish();
+        let delta_pct = (hifi_out.energy_kwh - tick_out.energy_kwh) / tick_out.energy_kwh * 100.0;
+
+        table.row(vec![
+            policy.clone(),
+            format!("{tick_ms:.1}"),
+            format!("{engine_ms:.1}"),
+            if identical { "yes".into() } else { "NO".into() },
+            format!("{hifi_ms:.1}"),
+            format!("{delta_pct:+.3}"),
+            pre_fired.to_string(),
+        ]);
+        rows.push(
+            JsonObject::new()
+                .str("policy", policy)
+                .num("tick_ms", tick_ms)
+                .num("engine_ms", engine_ms)
+                .bool("identical", identical)
+                .num("hifi_ms", hifi_ms)
+                .num("hifi_energy_delta_pct", delta_pct)
+                .int("hifi_prefired_wakes", pre_fired as u64),
+        );
+    }
+    println!("{}", table.render());
+    println!(
+        "legacy engine mode pins the tick loop bit-identically; \
+         high fidelity adds true-latency wakes + heartbeats"
+    );
+    opts.write_bench_json(
+        "engine",
+        &JsonObject::new()
+            .str("bench", "engine_vs_tick")
+            .bool("quick", opts.quick)
+            .int("seed", opts.seed)
+            .int("hours", hours)
+            .int("hosts", spec.hosts as u64)
+            .int("vms", spec.vms as u64)
+            .bool("all_identical", all_identical)
+            .array("policies", &rows),
+    );
+    if !all_identical {
+        eprintln!("ERROR: engine diverged from the tick loop");
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,7 @@
 //! the sweep is embarrassingly parallel, so it should approach the core
 //! count on idle machines.
 
-use dds_bench::ExpOptions;
+use dds_bench::{ExpOptions, JsonObject};
 use dds_core::cluster::ClusterSpec;
 use dds_core::sweep::{auto_threads, llmi_grid, run_sweep};
 use dds_placement::{
@@ -78,6 +78,7 @@ fn main() {
     let mut csv = String::from("n,drowsy_ms,multiplex_ms\n");
     let mut prev: Option<(usize, f64, f64)> = None;
     let mut slopes = Vec::new();
+    let mut json_points = Vec::new();
     for &n in sizes {
         let (state, hist) = build_state(n, &mut rng);
         let host_hist = Default::default();
@@ -104,6 +105,12 @@ fn main() {
             format!("{:.1}x", mult_ms / drowsy_ms.max(1e-9)),
         ]);
         csv.push_str(&format!("{n},{drowsy_ms:.4},{mult_ms:.4}\n"));
+        json_points.push(
+            JsonObject::new()
+                .int("n", n as u64)
+                .num("drowsy_ms", drowsy_ms)
+                .num("multiplex_ms", mult_ms),
+        );
         if let Some((pn, pd, pm)) = prev {
             let k = (n as f64 / pn as f64).ln();
             slopes.push(((drowsy_ms / pd).ln() / k, (mult_ms / pm).ln() / k));
@@ -112,13 +119,15 @@ fn main() {
     }
     println!("{}", table.render());
     opts.write_csv("scalability.csv", &csv);
+    let mut drowsy_exp = f64::NAN;
+    let mut mult_exp = f64::NAN;
     if !slopes.is_empty() {
         let (ds, ms): (Vec<f64>, Vec<f64>) = slopes.into_iter().unzip();
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        drowsy_exp = avg(&ds);
+        mult_exp = avg(&ms);
         println!(
-            "fitted growth exponents: Drowsy-DC ≈ n^{:.2}, Multiplex ≈ n^{:.2}",
-            avg(&ds),
-            avg(&ms)
+            "fitted growth exponents: Drowsy-DC ≈ n^{drowsy_exp:.2}, Multiplex ≈ n^{mult_exp:.2}"
         );
         println!("paper claim: O(n) vs O(n²)");
     }
@@ -166,4 +175,18 @@ fn main() {
     ]);
     println!("{}", sweep_table.render());
     println!("(bit-identical outcomes in both modes; speedup tracks available cores)");
+    opts.write_bench_json(
+        "scalability",
+        &JsonObject::new()
+            .str("bench", "scalability")
+            .bool("quick", opts.quick)
+            .int("seed", opts.seed)
+            .array("planner_points", &json_points)
+            .num("drowsy_exponent", drowsy_exp)
+            .num("multiplex_exponent", mult_exp)
+            .num("sweep_serial_s", serial_s)
+            .num("sweep_parallel_s", parallel_s)
+            .num("sweep_speedup", serial_s / parallel_s.max(1e-9))
+            .int("sweep_workers", cores as u64),
+    );
 }

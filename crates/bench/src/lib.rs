@@ -20,6 +20,9 @@ pub struct ExpOptions {
     pub policies: Option<Vec<String>>,
     /// Worker threads for sweep binaries (0 = one per available core).
     pub threads: usize,
+    /// Also emit machine-readable `BENCH_*.json` artifacts (`--json`),
+    /// for CI trend tracking.
+    pub json: bool,
 }
 
 impl Default for ExpOptions {
@@ -30,6 +33,7 @@ impl Default for ExpOptions {
             out_dir: PathBuf::from("results"),
             policies: None,
             threads: 0,
+            json: false,
         }
     }
 }
@@ -39,7 +43,7 @@ impl ExpOptions {
     ///
     /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`,
     /// `--policies <name,name,…>` (policy-registry names),
-    /// `--threads <n>` (0 = auto).
+    /// `--threads <n>` (0 = auto), `--json` (machine-readable artifacts).
     pub fn from_args() -> Self {
         let mut opts = ExpOptions::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +51,7 @@ impl ExpOptions {
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => opts.quick = true,
+                "--json" => opts.json = true,
                 "--seed" => {
                     i += 1;
                     opts.seed = args
@@ -106,6 +111,102 @@ impl ExpOptions {
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }
     }
+
+    /// Writes a machine-readable `BENCH_<name>.json` artifact when
+    /// `--json` was passed (no-op otherwise). Use [`JsonObject`] to build
+    /// the content.
+    pub fn write_bench_json(&self, name: &str, json: &JsonObject) {
+        if !self.json {
+            return;
+        }
+        self.write_csv(&format!("BENCH_{name}.json"), &json.render());
+    }
+}
+
+/// A minimal JSON-object builder for `BENCH_*.json` artifacts — numbers,
+/// strings, bools and flat arrays of objects, built by hand so the
+/// offline workspace needs no serde.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Adds a finite-number field (non-finite values become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), v));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds an array of nested objects.
+    pub fn array(mut self, key: &str, items: &[JsonObject]) -> Self {
+        let rendered: Vec<String> = items.iter().map(|o| o.render_flat()).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", rendered.join(","))));
+        self
+    }
+
+    fn render_flat(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Renders the object as pretty-enough JSON (one field per line).
+    pub fn render(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{}\": {v}", json_escape(k)))
+            .collect();
+        format!("{{\n{}\n}}\n", fields.join(",\n"))
+    }
 }
 
 /// Formats a fraction as `xx.x` percent.
@@ -135,6 +236,38 @@ mod tests {
         assert_eq!(o.out_dir, PathBuf::from("results"));
         assert_eq!(o.policies, None);
         assert_eq!(o.threads, 0);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn json_builder_renders_and_escapes() {
+        let obj = JsonObject::new()
+            .str("name", "engine \"quick\"")
+            .num("ratio", 1.5)
+            .int("hours", 48)
+            .bool("identical", true)
+            .array("points", &[JsonObject::new().int("n", 64).num("ms", 0.25)]);
+        let s = obj.render();
+        assert!(s.contains("\"name\": \"engine \\\"quick\\\"\""), "{s}");
+        assert!(s.contains("\"ratio\": 1.5"), "{s}");
+        assert!(s.contains("\"identical\": true"), "{s}");
+        assert!(s.contains("\"points\": [{\"n\":64,\"ms\":0.25}]"), "{s}");
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn bench_json_is_gated_on_the_flag() {
+        let dir = std::env::temp_dir().join(format!("dds-bench-json-{}", std::process::id()));
+        let mut opts = ExpOptions {
+            out_dir: dir.clone(),
+            ..Default::default()
+        };
+        opts.write_bench_json("off", &JsonObject::new().int("x", 1));
+        assert!(!exists(&dir.join("BENCH_off.json")));
+        opts.json = true;
+        opts.write_bench_json("on", &JsonObject::new().int("x", 1));
+        assert!(exists(&dir.join("BENCH_on.json")));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

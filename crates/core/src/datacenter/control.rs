@@ -211,9 +211,7 @@ impl Datacenter {
                 .map(|v| levels[v.spec.id.index()] * v.spec.vcpus)
                 .sum();
             self.host_hist
-                .entry(host.spec.id)
-                .or_default()
-                .push(demand / host.spec.cpu_cores.max(1e-9));
+                .push(host.spec.id, demand / host.spec.cpu_cores.max(1e-9));
         }
         self.hour += 1;
     }

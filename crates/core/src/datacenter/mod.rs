@@ -1,10 +1,14 @@
 //! The datacenter model: hosts, VMs, power, suspension, waking and the
-//! hourly control loop.
+//! hourly control loop, driven by the discrete-event engine.
 //!
-//! The simulation advances in one-hour control periods (the idleness
-//! model's resolution) with sub-hour timing where it matters: suspend
-//! decisions (idle-detection delay + grace time), suspend/resume
-//! transitions (seconds), wake-on-packet offsets and migration transfers.
+//! Control runs in one-hour periods (the idleness model's resolution)
+//! scheduled as events on [`DcEngine`] — [`Datacenter::run`] is a
+//! legacy-compat façade over the engine — with sub-hour timing where it
+//! matters: suspend decisions (idle-detection delay + grace time),
+//! suspend/resume transitions (seconds), wake-on-packet offsets and
+//! migration transfers. [`EngineConfig::high_fidelity`] additionally
+//! fires scheduled S3/S5 wakes, heartbeats and VM arrivals/departures as
+//! events at true `SimTime` instants between epochs.
 //!
 //! ## Architecture
 //!
@@ -21,6 +25,8 @@
 //!   process refresh and the cluster snapshots planners consume;
 //! * `wake` — the suspend/wake path: per-host hour simulation, resume
 //!   handling and management wakes;
+//! * `engine` — the event-driven driver ([`DcEngine`]): epochs, arrival/
+//!   departure events, true-latency scheduled wakes, heartbeats;
 //! * `accounting` — SLA/request accounting and outcome assembly.
 //!
 //! ## Modelling choices (also catalogued in DESIGN.md)
@@ -41,9 +47,12 @@
 
 mod accounting;
 mod control;
+mod engine;
 #[cfg(test)]
 mod tests;
 mod wake;
+
+pub use engine::{DcEngine, DcEvent, EngineConfig};
 
 use crate::spec::{HostSpec, VmSpec, WorkloadKind};
 use dds_hostos::{
@@ -54,14 +63,15 @@ use dds_idleness::{IdlenessModel, ImConfig};
 use dds_net::{HostMac, VmIp, WakingCluster, WakingConfig};
 use dds_placement::policy::{ControlPolicy, PlanningView, SleepDepth};
 use dds_placement::{
-    ClusterState, DrowsyConfig, HistoryBook, HostState, NeatConfig, SleepScaleConfig, VmState,
+    ClusterState, DrowsyConfig, HistoryBook, HostHistories, HostState, NeatConfig,
+    SleepScaleConfig, VmState,
 };
 use dds_power::{
     DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, WakeSpeed,
 };
 use dds_sim_core::time::CalendarStamp;
 use dds_sim_core::{HostId, RackId, SimDuration, SimRng, SimTime, VmId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Which control algorithm manages the datacenter.
 ///
@@ -314,6 +324,22 @@ impl DcOutcome {
     }
 }
 
+/// One host resume, as recorded by the wake log: when the wake began
+/// (WoL received / wake condition hit) and when the host was operational
+/// again. Fuels the sub-hour wake-latency accounting tests and
+/// diagnostics; recording costs one small struct per resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeRecord {
+    /// The resumed host.
+    pub host: HostId,
+    /// Instant the resume began.
+    pub started: SimTime,
+    /// Instant the host was operational again.
+    pub operational: SimTime,
+    /// True when resuming from S5 soft-off (stock latency) rather than S3.
+    pub from_off: bool,
+}
+
 /// The simulated datacenter.
 pub struct Datacenter {
     cfg: DcConfig,
@@ -323,13 +349,24 @@ pub struct Datacenter {
     waking: WakingCluster,
     blacklist: Blacklist,
     vm_hist: HistoryBook,
-    host_hist: HashMap<HostId, Vec<f64>>,
+    host_hist: HostHistories,
     rng: SimRng,
     hour: u64,
+    /// Live (non-departed) VMs, maintained on admission/departure so
+    /// `live_vm_count` is O(1) instead of a scan.
+    live_vms: usize,
     coloc_hours: Vec<Vec<u64>>,
     sla: SlaStats,
     service_ms_sum: f64,
     service_ms_count: u64,
+    wake_log: Vec<WakeRecord>,
+    /// Event-engine mode: leave parked (S3/S5) hosts' meters untouched at
+    /// control-period boundaries so a mid-hour resume integrates the
+    /// parked span over its true variable-length interval. The legacy
+    /// tick path must keep metering per hour — splitting a constant-state
+    /// span changes f64 rounding, and the golden policy-equivalence suite
+    /// pins those bits.
+    defer_parked_metering: bool,
 }
 
 const RACK: RackId = RackId(0);
@@ -415,13 +452,16 @@ impl Datacenter {
             waking: WakingCluster::new(1, cfg.waking, start),
             blacklist,
             vm_hist: HistoryBook::new(48),
-            host_hist: HashMap::new(),
+            host_hist: HostHistories::new(),
             rng: SimRng::new(seed),
             hour: 0,
+            live_vms: n,
             coloc_hours: vec![vec![0; n]; n],
             sla: SlaStats::default(),
             service_ms_sum: 0.0,
             service_ms_count: 0,
+            wake_log: Vec::new(),
+            defer_parked_metering: false,
             cfg,
             hosts,
             vms,
@@ -505,6 +545,7 @@ impl Datacenter {
             origin: dest,
             spec,
         });
+        self.live_vms += 1;
         // Grow the colocation matrix.
         let n = self.vms.len();
         for row in &mut self.coloc_hours {
@@ -526,6 +567,7 @@ impl Datacenter {
             return false;
         }
         v.departed = true;
+        self.live_vms -= 1;
         let host = v.host.index();
         let pid = v.pid;
         let timer = v.timer.take();
@@ -537,9 +579,26 @@ impl Datacenter {
         true
     }
 
-    /// Number of live (non-departed) VMs.
+    /// Number of live (non-departed) VMs — O(1), maintained on
+    /// admission/departure.
     pub fn live_vm_count(&self) -> usize {
-        self.vms.iter().filter(|v| !v.departed).count()
+        debug_assert_eq!(
+            self.live_vms,
+            self.vms.iter().filter(|v| !v.departed).count(),
+            "live-VM counter out of sync with departure flags"
+        );
+        self.live_vms
+    }
+
+    /// Total VM slots allocated so far (departed VMs keep their dense id).
+    pub fn vm_slot_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Every host resume performed so far, in order (wake-latency
+    /// accounting; see [`WakeRecord`]).
+    pub fn wake_log(&self) -> &[WakeRecord] {
+        &self.wake_log
     }
 
     /// Fault injection: kills the rack's waking module. The heart-beat
@@ -547,10 +606,26 @@ impl Datacenter {
     /// drowsy-host state (including scheduled waking dates) survives —
     /// the §V fault-tolerance property, exercised in vivo.
     pub fn inject_waking_failure(&mut self) {
-        self.waking.inject_failure(RACK);
+        self.fail_waking_module();
         let now = SimTime::from_hours(self.hour);
         let replaced = self.waking.monitor(now);
         debug_assert_eq!(replaced.len(), 1);
+    }
+
+    /// Fault injection without the immediate tick-mode recovery: marks
+    /// the rack's waking module defective and leaves detection to the
+    /// heartbeat monitor — under the event engine that is the next
+    /// [`DcEvent::Heartbeat`], so failover happens at sub-epoch latency.
+    pub fn fail_waking_module(&mut self) {
+        self.waking.inject_failure(RACK);
+    }
+
+    /// One heartbeat round (event engine): every alive waking module
+    /// beats, then the monitor replaces failed/silent ones from their
+    /// mirrors. Returns the number of failovers performed this round.
+    pub fn heartbeat_and_monitor(&mut self, now: SimTime) -> usize {
+        self.waking.heartbeat_all(now);
+        self.waking.monitor(now).len()
     }
 
     /// Number of waking-module failovers performed so far.
@@ -558,10 +633,22 @@ impl Datacenter {
         self.waking.failovers()
     }
 
+    /// Earliest lead-adjusted scheduled-wake instant across the waking
+    /// cluster (the engine's "scheduled wake due" event time).
+    pub(crate) fn next_scheduled_wake(&self) -> Option<SimTime> {
+        self.waking.next_fire_time()
+    }
+
     /// Runs `hours` control periods.
+    ///
+    /// This is a façade over the event engine: it schedules one
+    /// [`DcEvent::ControlEpoch`] per hour on a [`DcEngine`] in
+    /// legacy-compat mode, which replays the historical tick loop
+    /// bit-identically (the golden policy-equivalence suite pins this).
+    /// Build a [`DcEngine`] directly for sub-hour fidelity: true-latency
+    /// scheduled wakes, heartbeat-driven failover, mid-hour VM
+    /// arrivals/departures.
     pub fn run(&mut self, hours: u64) {
-        for _ in 0..hours {
-            self.step_hour();
-        }
+        DcEngine::new(self, EngineConfig::legacy_compat()).run_hours(hours);
     }
 }

@@ -44,7 +44,30 @@ impl Datacenter {
             .expect("resume_host invariant: a begun resume always completes at its deadline");
         h.suspend.on_resume(done, ip_prob);
         self.waking.on_host_resumed(RACK, mac);
+        self.wake_log.push(WakeRecord {
+            host,
+            started: at,
+            operational: done,
+            from_off,
+        });
         done
+    }
+
+    /// Event-engine path: fires every scheduled wake due at `now` (the
+    /// waking modules' lead-adjusted schedules) and resumes the commanded
+    /// hosts immediately — at their true latency, instead of waiting for
+    /// the next control-period poll. Returns the number of hosts resumed.
+    pub(super) fn fire_scheduled_wakes(&mut self, now: SimTime) -> usize {
+        let commands = self.waking.poll_schedules(now);
+        let mut resumed = 0;
+        for cmd in commands {
+            let host = cmd.mac.host();
+            if self.hosts[host.index()].power.state().is_low_power() {
+                self.resume_host(host, now);
+                resumed += 1;
+            }
+        }
+        resumed
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -135,8 +158,13 @@ impl Datacenter {
         } else {
             // Fully idle hour.
             if state.is_low_power() {
-                let h = &mut self.hosts[hid.index()];
-                h.meter.advance(hour_end, state, 0.0);
+                // Event mode defers this advance: a scheduled wake may
+                // fire mid-hour, and the parked span must then integrate
+                // over its true variable-length interval.
+                if !self.defer_parked_metering {
+                    let h = &mut self.hosts[hid.index()];
+                    h.meter.advance(hour_end, state, 0.0);
+                }
                 return;
             }
             if self.hosts[hid.index()].always_on {
@@ -167,6 +195,7 @@ impl Datacenter {
                         // default S3 to S5 for long predicted idle periods.
                         let depth = self.policy.idle_sleep_depth(hid, ip_prob, waking_date, t);
                         host.meter.advance(t, PowerState::Active, metered_util);
+                        let defer = self.defer_parked_metering;
                         match depth {
                             SleepDepth::Suspend => {
                                 let done = host.power.begin_suspend(t, suspend_latency).expect(
@@ -176,7 +205,9 @@ impl Datacenter {
                                 host.power.complete_transition(done).expect(
                                     "suspend invariant: a begun suspend completes at its deadline",
                                 );
-                                host.meter.advance(hour_end, PowerState::Suspended, 0.0);
+                                if !defer {
+                                    host.meter.advance(hour_end, PowerState::Suspended, 0.0);
+                                }
                             }
                             SleepDepth::Off => {
                                 // S5 soft-off: instantaneous at this model's
@@ -184,7 +215,9 @@ impl Datacenter {
                                 host.power.power_off(t).expect(
                                     "suspend invariant: the host was Active when decide() passed",
                                 );
-                                host.meter.advance(hour_end, PowerState::Off, 0.0);
+                                if !defer {
+                                    host.meter.advance(hour_end, PowerState::Off, 0.0);
+                                }
                             }
                         }
                         host.meter.record_suspend_cycle();
@@ -199,18 +232,20 @@ impl Datacenter {
                         self.waking.register_suspension(RACK, mac, vms, waking_date);
                         return;
                     }
-                    Decision::StayAwake(dds_hostos::suspend::StayAwakeReason::GraceActive {
-                        until,
-                    }) => {
-                        t = until.max(t + SimDuration::from_secs(1));
-                    }
-                    Decision::StayAwake(_) => {
+                    Decision::StayAwake(_) => match decision.retry_at() {
+                        // A timed condition (grace): re-evaluate at its
+                        // deadline (never more often than once a second).
+                        Some(until) => {
+                            t = until.max(t + SimDuration::from_secs(1));
+                        }
                         // Blocked by process state (e.g. monitoring noise
                         // beyond the blacklist): stay awake this hour.
-                        let h = &mut self.hosts[hid.index()];
-                        h.meter.advance(hour_end, PowerState::Active, metered_util);
-                        return;
-                    }
+                        None => {
+                            let h = &mut self.hosts[hid.index()];
+                            h.meter.advance(hour_end, PowerState::Active, metered_util);
+                            return;
+                        }
+                    },
                 }
             }
         }

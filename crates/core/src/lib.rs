@@ -41,7 +41,10 @@ pub mod testbed;
 pub use cluster::{
     run_cluster, run_cluster_policy, run_cluster_policy_with, ClusterOutcome, ClusterSpec,
 };
-pub use datacenter::{AdmitError, Algorithm, Datacenter, DcConfig, DcOutcome};
+pub use datacenter::{
+    AdmitError, Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig,
+    WakeRecord,
+};
 pub use registry::{PolicyEntry, PolicyRegistry};
 pub use spec::{HostSpec, VmSpec, WorkloadKind};
 pub use sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};

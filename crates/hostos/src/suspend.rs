@@ -102,6 +102,19 @@ impl Decision {
     pub fn is_suspend(&self) -> bool {
         matches!(self, Decision::Suspend { .. })
     }
+
+    /// For event-driven callers: the earliest instant at which
+    /// re-evaluating this decision can change the outcome. `Some(t)` when
+    /// the host was kept awake by a *timed* condition (the grace period —
+    /// retry once it expires); `None` when the decision either suspended
+    /// the host or depends on process state, which only changes through
+    /// external events (activity, I/O completion), not the passage of time.
+    pub fn retry_at(&self) -> Option<SimTime> {
+        match self {
+            Decision::StayAwake(StayAwakeReason::GraceActive { until }) => Some(*until),
+            _ => None,
+        }
+    }
 }
 
 /// The per-host suspending module.
@@ -320,6 +333,28 @@ mod tests {
             Decision::Suspend {
                 waking_date: Some(t(100))
             }
+        );
+    }
+
+    #[test]
+    fn retry_at_reflects_timed_conditions_only() {
+        let (mut table, bl, timers) = idle_host();
+        let mut m = SuspendModule::with_defaults();
+        m.on_resume(t(1000), 0.0); // 2 min grace
+        let graced = m.decide(t(1010), &table, &bl, &timers);
+        assert_eq!(
+            graced.retry_at(),
+            Some(t(1000) + SimDuration::from_minutes(2)),
+            "grace is a timed condition: retry at its deadline"
+        );
+        let suspended = m.decide(t(2000), &table, &bl, &timers);
+        assert_eq!(suspended.retry_at(), None, "suspend needs no retry");
+        table.spawn("qemu-busy", ProcState::Runnable);
+        let busy = m.decide(t(3000), &table, &bl, &timers);
+        assert_eq!(
+            busy.retry_at(),
+            None,
+            "process state is event-, not time-driven"
         );
     }
 

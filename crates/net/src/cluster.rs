@@ -128,19 +128,33 @@ impl WakingCluster {
         self.replicate(i);
     }
 
+    fn member_alive(&self, i: usize) -> bool {
+        matches!(self.members[i].health, Health::Alive { .. })
+    }
+
     /// Packet analysis on the rack's module (replicated: the wake-in-flight
-    /// flag is state).
+    /// flag is state). A **failed** module no longer analyzes anything —
+    /// packets pass through unheld until the monitor restores it.
     pub fn handle_packet(&mut self, rack: RackId, dst: VmIp) -> PacketVerdict {
         let i = self.rack_index(rack);
+        if !self.member_alive(i) {
+            return PacketVerdict::Forward;
+        }
         let verdict = self.members[i].module.handle_packet(dst);
         self.replicate(i);
         verdict
     }
 
-    /// Polls all modules' schedules; returns every wake command due.
+    /// Polls all *alive* modules' schedules; returns every wake command
+    /// due. A failed module serves nothing until its mirror restores it —
+    /// its due dates stay queued in the replica and fire (late) after the
+    /// failover, which is exactly the §V recovery story.
     pub fn poll_schedules(&mut self, now: SimTime) -> Vec<WakeCommand> {
         let mut all = Vec::new();
         for i in 0..self.members.len() {
+            if !self.member_alive(i) {
+                continue;
+            }
             let mut cmds = self.members[i].module.poll_schedule(now);
             if !cmds.is_empty() {
                 self.replicate(i);
@@ -148,6 +162,29 @@ impl WakingCluster {
             all.append(&mut cmds);
         }
         all
+    }
+
+    /// Earliest instant at which any *alive* module's waking-date schedule
+    /// emits a wake command (lead-adjusted), for event-driven simulations:
+    /// the engine schedules its "scheduled wake due" event here instead of
+    /// polling every control period. Failed modules are excluded — they
+    /// cannot fire until the monitor restores them (at which point the
+    /// engine re-arms from the restored schedule).
+    pub fn next_fire_time(&self) -> Option<SimTime> {
+        self.members
+            .iter()
+            .filter(|m| matches!(m.health, Health::Alive { .. }))
+            .filter_map(|m| m.module.next_fire_time())
+            .min()
+    }
+
+    /// Records a heartbeat from every *alive* module (failed modules have
+    /// stopped beating — that is what the monitor detects). One call per
+    /// heartbeat period from the event engine.
+    pub fn heartbeat_all(&mut self, now: SimTime) {
+        for i in 0..self.members.len() {
+            self.heartbeat(RackId::from_index(i), now);
+        }
     }
 
     /// Records a heartbeat from the rack's module.
@@ -323,6 +360,58 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_cluster_rejected() {
         cluster(0);
+    }
+
+    #[test]
+    fn failed_module_serves_nothing_until_restored() {
+        let mut c = cluster(2);
+        c.register_suspension(R0, mac(1), vec![(ip(1), VmId(1))], Some(t(100)));
+        c.inject_failure(R0);
+        // Dead window: no schedule fires, no packet analysis, no wake
+        // deadline advertised — the module is gone.
+        assert!(c.poll_schedules(t(100)).is_empty());
+        assert_eq!(c.handle_packet(R0, ip(1)), PacketVerdict::Forward);
+        assert_eq!(c.next_fire_time(), None);
+        // Failover restores the mirror's replica; the overdue date then
+        // fires late, as §V's recovery story promises.
+        c.monitor(t(105));
+        assert_eq!(
+            c.next_fire_time(),
+            Some(t(100) - SimDuration::from_millis(1500))
+        );
+        let cmds = c.poll_schedules(t(105));
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].mac, mac(1));
+    }
+
+    #[test]
+    fn next_fire_time_is_the_cluster_minimum() {
+        let mut c = cluster(2);
+        assert_eq!(c.next_fire_time(), None);
+        c.register_suspension(R0, mac(1), vec![(ip(1), VmId(1))], Some(t(200)));
+        c.register_suspension(R1, mac(2), vec![(ip(2), VmId(2))], Some(t(100)));
+        // Earliest date minus the 1.5 s lead, across both racks.
+        assert_eq!(
+            c.next_fire_time(),
+            Some(t(100) - SimDuration::from_millis(1500))
+        );
+        c.on_host_resumed(R1, mac(2));
+        assert_eq!(
+            c.next_fire_time(),
+            Some(t(200) - SimDuration::from_millis(1500))
+        );
+    }
+
+    #[test]
+    fn heartbeat_all_keeps_alive_members_fresh_but_not_failed_ones() {
+        let mut c = cluster(2);
+        c.inject_failure(R0);
+        c.heartbeat_all(t(10));
+        assert!(!c.is_alive(R0), "a failed module does not revive by beat");
+        assert!(c.is_alive(R1));
+        // The monitor replaces the failed one; the fresh beat keeps R1.
+        let replaced = c.monitor(t(10));
+        assert_eq!(replaced, vec![R0]);
     }
 
     #[test]

@@ -157,7 +157,7 @@ impl DrowsyPlanner {
             for vm_id in order {
                 {
                     let host = scratch.host(host_id).expect("host exists");
-                    let hist = host_hist.get(&host_id).map(Vec::as_slice).unwrap_or(&[]);
+                    let hist = host_hist.get(host_id);
                     if !self
                         .config
                         .neat

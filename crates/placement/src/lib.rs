@@ -46,7 +46,9 @@ pub use drowsy::{DrowsyConfig, DrowsyPlanner};
 pub use filters::{FilterScheduler, HostFilter, HostWeigher};
 pub use history::HistoryBook;
 pub use multiplex::MultiplexPlanner;
-pub use neat::{NeatConfig, NeatPlanner, OverloadPolicy, SelectionPolicy, UnderloadPolicy};
+pub use neat::{
+    HostHistories, NeatConfig, NeatPlanner, OverloadPolicy, SelectionPolicy, UnderloadPolicy,
+};
 pub use oasis::{OasisConfig, OasisPlanner};
 pub use policy::{
     ControlPlan, ControlPolicy, DrowsyPolicy, NeatPolicy, OasisPolicy, PlanningView, SleepDepth,

@@ -16,11 +16,53 @@
 use crate::history::HistoryBook;
 use crate::types::{ClusterState, ConsolidationPlan, HostState, Migration, VmState};
 use dds_sim_core::{HostId, SimRng, VmId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-/// Per-host utilization history (most recent last), for the adaptive
+/// Per-host utilization histories (most recent last), for the adaptive
 /// overload detectors.
-pub type HostHistories = HashMap<HostId, Vec<f64>>;
+///
+/// Densely indexed by [`HostId`] — host ids are dense indexes assigned by
+/// the datacenter, so a `Vec` beats a hash map on the hot control path
+/// (no hashing, deterministic iteration order, cache-friendly pushes).
+/// Unknown hosts read as an empty history.
+#[derive(Debug, Clone, Default)]
+pub struct HostHistories {
+    hist: Vec<Vec<f64>>,
+}
+
+impl HostHistories {
+    /// An empty history set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation for `host`, growing the table as needed.
+    pub fn push(&mut self, host: HostId, value: f64) {
+        let i = host.index();
+        if i >= self.hist.len() {
+            self.hist.resize_with(i + 1, Vec::new);
+        }
+        self.hist[i].push(value);
+    }
+
+    /// The history of `host`, oldest first (empty when never observed).
+    pub fn get(&self, host: HostId) -> &[f64] {
+        self.hist
+            .get(host.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of host slots allocated (= highest observed id + 1).
+    pub fn host_count(&self) -> usize {
+        self.hist.len()
+    }
+
+    /// True when no host has any history.
+    pub fn is_empty(&self) -> bool {
+        self.hist.iter().all(Vec::is_empty)
+    }
+}
 
 /// Sub-problem (2): when is a host overloaded?
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -250,7 +292,7 @@ impl NeatPlanner {
             .hosts
             .iter()
             .filter(|h| {
-                let hist = host_hist.get(&h.id).map(Vec::as_slice).unwrap_or(&[]);
+                let hist = host_hist.get(h.id);
                 self.config.overload.is_overloaded(h.utilization(), hist)
             })
             .map(|h| h.id)
@@ -274,7 +316,7 @@ impl NeatPlanner {
         for host_id in overloaded {
             loop {
                 let host = scratch.host(host_id).expect("host exists");
-                let hist = host_hist.get(&host_id).map(Vec::as_slice).unwrap_or(&[]);
+                let hist = host_hist.get(host_id);
                 if !self.config.overload.is_overloaded(host.utilization(), hist) {
                     break;
                 }

@@ -225,6 +225,38 @@ mod tests {
     }
 
     #[test]
+    fn fifo_survives_cancel_reschedule_churn_at_one_instant() {
+        // The engine cancels and re-schedules its "next scheduled wake"
+        // event every control epoch; same-instant FIFO must hold through
+        // that churn: survivors pop in (re)scheduling order, never in
+        // heap-internal order.
+        let mut q = EventQueue::new();
+        let mut live: Vec<(u32, EventToken)> = Vec::new();
+        let mut next = 0u32;
+        for round in 0..10 {
+            // Schedule a fresh batch at the same instant.
+            for _ in 0..10 {
+                live.push((next, q.schedule(t(42), next)));
+                next += 1;
+            }
+            // Cancel every third pending event (stale wake deadlines).
+            let mut i = 0;
+            live.retain(|(_, tok)| {
+                i += 1;
+                if i % 3 == round % 3 {
+                    assert!(q.cancel(*tok));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let expected: Vec<u32> = live.iter().map(|(v, _)| *v).collect();
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
     fn pop_until_respects_horizon() {
         let mut q = EventQueue::new();
         q.schedule(t(10), "late");

@@ -9,6 +9,9 @@
 //!   (hour of day, day of week, day of month, month of year).
 //! * [`events`] — a stable, deterministic event queue ([`EventQueue`])
 //!   ordered by time with FIFO tie-breaking.
+//! * [`engine`] — the discrete-event driver ([`SimEngine`]): queue +
+//!   clock + a handler loop, so whole simulations run at `SimTime`
+//!   resolution instead of fixed ticks.
 //! * [`ids`] — typed identifiers for simulation entities (VMs, hosts, …).
 //! * [`rng`] — seedable, stream-split random number helpers so that every
 //!   experiment is reproducible from a single `u64` seed.
@@ -23,13 +26,15 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod events;
 pub mod ids;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use events::{EventQueue, ScheduledEvent};
+pub use engine::SimEngine;
+pub use events::{EventQueue, EventToken, ScheduledEvent};
 pub use ids::{HostId, RackId, VmId};
 pub use rng::SimRng;
 pub use time::{CalendarStamp, SimDuration, SimTime, Weekday};

@@ -21,11 +21,15 @@
 //!   modulated by the activity trace) used for the SLA experiments.
 //! * [`transform`] — trace combinators (shift, scale, overlay, noise,
 //!   autocorrelation) for building evaluation scenarios.
+//! * [`arrivals`] — Poisson VM arrival/departure plans at `SimTime`
+//!   resolution, consumed as scheduled events by the event-driven
+//!   simulation engine.
 //! * `classify` — the paper's §I taxonomy (SLMU / LLMU / LLMI) measured
 //!   from traces, plus periodicity detection.
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod classify;
 pub mod nutanix;
 pub mod patterns;
@@ -33,6 +37,7 @@ pub mod requests;
 pub mod trace;
 pub mod transform;
 
+pub use arrivals::{poisson_arrivals, slmu_burst_trace, ArrivalEvent};
 pub use classify::{classify, llmi_fraction, periodicity, VmClass};
 pub use nutanix::nutanix_trace;
 pub use patterns::TracePattern;

@@ -45,7 +45,9 @@ pub mod prelude {
     pub use dds_core::cluster::{
         run_cluster, run_cluster_policy, run_cluster_policy_with, ClusterOutcome, ClusterSpec,
     };
-    pub use dds_core::datacenter::{Algorithm, Datacenter, DcConfig, DcOutcome};
+    pub use dds_core::datacenter::{
+        Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig, WakeRecord,
+    };
     pub use dds_core::registry::{PolicyEntry, PolicyRegistry};
     pub use dds_core::sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};
     pub use dds_core::testbed::{run_testbed, TestbedOutcome, TestbedSpec};
@@ -53,6 +55,6 @@ pub mod prelude {
     pub use dds_placement::policy::{ControlPlan, ControlPolicy, PlanningView, SleepDepth};
     pub use dds_placement::{SleepScaleConfig, SleepScalePolicy};
     pub use dds_power::{HostPowerModel, PowerState};
-    pub use dds_sim_core::{SimDuration, SimTime, VmId};
+    pub use dds_sim_core::{HostId, SimDuration, SimEngine, SimTime, VmId};
     pub use dds_traces::{TracePattern, VmTrace};
 }
