@@ -134,10 +134,8 @@ fn main() {
     );
     opts.write_bench_json(
         "engine",
-        &JsonObject::new()
-            .str("bench", "engine_vs_tick")
-            .bool("quick", opts.quick)
-            .int("seed", opts.seed)
+        &opts
+            .bench_json("engine_vs_tick")
             .int("hours", hours)
             .int("hosts", spec.hosts as u64)
             .int("vms", spec.vms as u64)

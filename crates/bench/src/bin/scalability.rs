@@ -177,10 +177,8 @@ fn main() {
     println!("(bit-identical outcomes in both modes; speedup tracks available cores)");
     opts.write_bench_json(
         "scalability",
-        &JsonObject::new()
-            .str("bench", "scalability")
-            .bool("quick", opts.quick)
-            .int("seed", opts.seed)
+        &opts
+            .bench_json("scalability")
             .array("planner_points", &json_points)
             .num("drowsy_exponent", drowsy_exp)
             .num("multiplex_exponent", mult_exp)

@@ -44,9 +44,24 @@ impl ExpOptions {
     /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`,
     /// `--policies <name,name,…>` (policy-registry names),
     /// `--threads <n>` (0 = auto), `--json` (machine-readable artifacts).
+    /// Unrecognized arguments are warned about and dropped; binaries with
+    /// extra flags use [`ExpOptions::parse`] instead.
     pub fn from_args() -> Self {
-        let mut opts = ExpOptions::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        let (opts, rest) = Self::parse(&args);
+        for other in rest {
+            eprintln!("ignoring unknown flag {other}");
+        }
+        opts
+    }
+
+    /// Parses the shared flags out of `args` and returns the options plus
+    /// every argument the shared layer did not consume (in order), for
+    /// the binary to interpret (e.g. the `scenarios` binary's `--list`
+    /// and scenario names).
+    pub fn parse(args: &[String]) -> (Self, Vec<String>) {
+        let mut opts = ExpOptions::default();
+        let mut rest = Vec::new();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -83,11 +98,11 @@ impl ExpOptions {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| panic!("--threads needs a usize"));
                 }
-                other => eprintln!("ignoring unknown flag {other}"),
+                other => rest.push(other.to_string()),
             }
             i += 1;
         }
-        opts
+        (opts, rest)
     }
 
     /// The policies to run: the `--policies` selection, or `default`.
@@ -112,9 +127,20 @@ impl ExpOptions {
         }
     }
 
+    /// Starts a `BENCH_*.json` artifact with the provenance header every
+    /// experiment shares (bench name, `--quick` flag, seed). Chain the
+    /// binary-specific fields onto the result and hand it to
+    /// [`ExpOptions::write_bench_json`].
+    pub fn bench_json(&self, bench: &str) -> JsonObject {
+        JsonObject::new()
+            .str("bench", bench)
+            .bool("quick", self.quick)
+            .int("seed", self.seed)
+    }
+
     /// Writes a machine-readable `BENCH_<name>.json` artifact when
-    /// `--json` was passed (no-op otherwise). Use [`JsonObject`] to build
-    /// the content.
+    /// `--json` was passed (no-op otherwise). Use
+    /// [`ExpOptions::bench_json`] to build the content.
     pub fn write_bench_json(&self, name: &str, json: &JsonObject) {
         if !self.json {
             return;
@@ -279,6 +305,32 @@ mod tests {
         );
         o.policies = Some(vec!["sleepscale".to_string()]);
         assert_eq!(o.policies_or(&["drowsy-dc"]), vec!["sleepscale"]);
+    }
+
+    #[test]
+    fn parse_returns_unconsumed_arguments_in_order() {
+        let args: Vec<String> = ["--list", "--quick", "office-park", "--seed", "7", "--file"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, rest) = ExpOptions::parse(&args);
+        assert!(opts.quick);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(rest, vec!["--list", "office-park", "--file"]);
+    }
+
+    #[test]
+    fn bench_json_carries_the_shared_header() {
+        let opts = ExpOptions {
+            quick: true,
+            seed: 9,
+            ..Default::default()
+        };
+        let s = opts.bench_json("demo").num("extra", 1.5).render();
+        assert!(s.contains("\"bench\": \"demo\""), "{s}");
+        assert!(s.contains("\"quick\": true"), "{s}");
+        assert!(s.contains("\"seed\": 9"), "{s}");
+        assert!(s.contains("\"extra\": 1.5"), "{s}");
     }
 
     #[test]

@@ -408,10 +408,13 @@ impl Datacenter {
             .map(|spec| {
                 let mut procs = ProcessTable::new();
                 procs.spawn("monitord", ProcState::Running);
+                // Heterogeneous fleets override the fleet-wide power model
+                // (and its suspend/resume latencies) per host class.
+                let model = spec.power.clone().unwrap_or_else(|| cfg.power.clone());
                 HostSim {
                     spec,
                     power: PowerStateMachine::new(start),
-                    meter: EnergyMeter::new(cfg.power.clone(), start),
+                    meter: EnergyMeter::new(model, start),
                     procs,
                     timers: TimerWheel::new(),
                     suspend: SuspendModule::new(suspend_cfg.clone()),

@@ -24,10 +24,11 @@ impl Datacenter {
     /// quick-resume work targets suspend-to-RAM.
     pub(super) fn resume_host(&mut self, host: HostId, at: SimTime) -> SimTime {
         let from_off = self.hosts[host.index()].power.state() == PowerState::Off;
+        let timings = self.hosts[host.index()].meter.model().timings;
         let latency = if from_off {
-            self.cfg.power.timings.resume_normal
+            timings.resume_normal
         } else {
-            self.cfg.power.timings.resume_latency(self.cfg.wake_speed)
+            timings.resume_latency(self.cfg.wake_speed)
         };
         let ip_prob = self.host_ip_probability(host);
         let mac = self.mac(host);
@@ -127,10 +128,11 @@ impl Datacenter {
                     } else {
                         SimDuration::ZERO
                     };
+                    let timings = self.hosts[hid.index()].meter.model().timings;
                     let resume = if state == PowerState::Off {
-                        self.cfg.power.timings.resume_normal
+                        timings.resume_normal
                     } else {
-                        self.cfg.power.timings.resume_latency(self.cfg.wake_speed)
+                        timings.resume_latency(self.cfg.wake_speed)
                     };
                     let headroom = resume.max(SimDuration::from_secs(1));
                     (hour_start + offset).min(hour_end - headroom)
@@ -176,7 +178,11 @@ impl Datacenter {
             let mut t = (hour_start + self.cfg.idle_detect_delay)
                 .max(self.hosts[hid.index()].forced_awake_until)
                 .max(self.hosts[hid.index()].meter.cursor());
-            let suspend_latency = self.cfg.power.timings.suspend_latency;
+            let suspend_latency = self.hosts[hid.index()]
+                .meter
+                .model()
+                .timings
+                .suspend_latency;
             let ip_prob = self.host_ip_probability(hid);
             loop {
                 if t + suspend_latency >= hour_end {

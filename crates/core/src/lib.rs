@@ -46,6 +46,6 @@ pub use datacenter::{
     WakeRecord,
 };
 pub use registry::{PolicyEntry, PolicyRegistry};
-pub use spec::{HostSpec, VmSpec, WorkloadKind};
+pub use spec::{HostSpec, VmMemberSpec, VmSpec, WorkloadKind};
 pub use sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};
 pub use testbed::{run_testbed, TestbedOutcome, TestbedSpec};

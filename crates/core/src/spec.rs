@@ -1,7 +1,8 @@
 //! Host and VM specifications for datacenter scenarios.
 
-use dds_sim_core::{HostId, VmId};
-use dds_traces::VmTrace;
+use dds_power::HostPowerModel;
+use dds_sim_core::{HostId, SimRng, VmId};
+use dds_traces::{VmTrace, VmWorkload};
 
 /// How a VM's service is driven — this determines its wake path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,11 @@ pub struct HostSpec {
     pub ram_mb: u64,
     /// Maximum resident VMs (0 = unlimited).
     pub max_vms: usize,
+    /// Power model of this host, including its suspend/resume latencies.
+    /// `None` uses the datacenter-wide `DcConfig::power` — the uniform
+    /// fleet every pre-scenario experiment runs on. Heterogeneous fleets
+    /// (the scenario layer's host classes) set per-class models here.
+    pub power: Option<HostPowerModel>,
 }
 
 impl HostSpec {
@@ -80,6 +86,7 @@ impl HostSpec {
             cpu_cores: 8.0,
             ram_mb: 16_384,
             max_vms: 2,
+            power: None,
         }
     }
 
@@ -95,7 +102,60 @@ impl HostSpec {
             cpu_cores: 16.0,
             ram_mb: 32_768,
             max_vms: 0,
+            power: None,
         }
+    }
+
+    /// Overrides this host's power model (per-class draw figures and
+    /// suspend/resume latencies).
+    pub fn with_power(mut self, power: HostPowerModel) -> Self {
+        self.power = Some(power);
+        self
+    }
+}
+
+/// One workload group of an explicit VM population: `count` VMs sharing a
+/// flavor (vCPUs, RAM), a wake path and a trace source. The scenario
+/// layer compiles `[workload.*]` sections into these; `expand` turns them
+/// into concrete [`VmSpec`]s with per-VM seeded traces.
+#[derive(Debug, Clone)]
+pub struct VmMemberSpec {
+    /// Name prefix; member k of the group is named `"{prefix}{k}"`.
+    pub name_prefix: String,
+    /// Number of VMs in the group.
+    pub count: usize,
+    /// Virtual CPUs per VM.
+    pub vcpus: f64,
+    /// RAM per VM in MiB.
+    pub ram_mb: u64,
+    /// Trace source shared by the group (each VM draws its own stream).
+    pub workload: VmWorkload,
+    /// Wake path of the group's VMs.
+    pub kind: WorkloadKind,
+}
+
+impl VmMemberSpec {
+    /// Expands the group into `count` concrete [`VmSpec`]s, assigning
+    /// dense ids starting at `first_id` and generating `hours` hours of
+    /// trace per VM. Each VM derives its own RNG stream from `rng` and
+    /// its global index, so populations replay bit-identically per seed
+    /// and adding a group never perturbs the traces of another.
+    pub fn expand(&self, first_id: usize, hours: usize, rng: &SimRng) -> Vec<VmSpec> {
+        (0..self.count)
+            .map(|k| {
+                let index = first_id + k;
+                let mut r = rng.stream_indexed("member", index as u64);
+                let trace = self.workload.generate(hours, &mut r);
+                VmSpec {
+                    id: VmId(index as u32),
+                    name: format!("{}{}", self.name_prefix, k),
+                    vcpus: self.vcpus,
+                    ram_mb: self.ram_mb,
+                    trace,
+                    kind: self.kind,
+                }
+            })
+            .collect()
     }
 }
 

@@ -8,6 +8,31 @@
 //! every point derives all randomness from its own seed, so
 //! `run_sweep(points, 1)` and `run_sweep(points, N)` are bit-identical.
 //!
+//! ## Example
+//!
+//! Sweep two policies over one (tiny) cluster point and fan out over all
+//! cores — outcomes come back in input order, so `points[i]` and
+//! `outcomes[i]` always describe the same run:
+//!
+//! ```
+//! use dds_core::cluster::ClusterSpec;
+//! use dds_core::sweep::{run_sweep, SweepPoint};
+//!
+//! let mut spec = ClusterSpec::paper_default(0.5);
+//! spec.hosts = 2;
+//! spec.vms = 4;
+//! spec.days = 1;
+//! let points: Vec<SweepPoint> = ["drowsy-dc", "neat"]
+//!     .iter()
+//!     .map(|p| SweepPoint { policy: p.to_string(), spec: spec.clone(), seed: 7 })
+//!     .collect();
+//!
+//! let outcomes = run_sweep(&points, 0); // 0 = one worker per core
+//! assert_eq!(outcomes.len(), 2);
+//! assert_eq!(outcomes[0].label, "Drowsy-DC");
+//! assert!(outcomes[1].outcome.energy_kwh() > 0.0);
+//! ```
+//!
 //! [`Datacenter`]: crate::datacenter::Datacenter
 
 use crate::cluster::{run_cluster_policy_with, ClusterOutcome, ClusterSpec};

@@ -1,0 +1,226 @@
+//! The raw scenario-file format: sections of `key = value` lines.
+//!
+//! The format is deliberately small and hand-rolled (the workspace builds
+//! offline, so no serde/toml): full-line `#` comments, `[section]` or
+//! `[kind.name]` headers, and one `key = value` pair per line. This
+//! module only parses the *shape* — [`RawDoc`] keeps every entry tagged
+//! with its 1-based line number, so the typed layer
+//! ([`Scenario::parse`](crate::Scenario::parse)) can report semantic
+//! errors ("unknown policy", "count must be positive") at the exact line
+//! that caused them.
+
+use std::fmt;
+
+/// A scenario-file error, pinned to the 1-based line that caused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number in the scenario text (0 = the document as a
+    /// whole, e.g. "no \[scenario\] section").
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ScenarioError {
+    /// Creates an error at `line`.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        ScenarioError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One `key = value` pair, tagged with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEntry {
+    /// The key (left of `=`, trimmed).
+    pub key: String,
+    /// The value (right of `=`, trimmed; may be empty).
+    pub value: String,
+    /// 1-based line number of the pair.
+    pub line: usize,
+}
+
+/// One `[kind]` / `[kind.name]` section with its entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawSection {
+    /// The part before the first `.` ("scenario", "fleet", "workload").
+    pub kind: String,
+    /// The part after the first `.` (empty for plain `[kind]`).
+    pub name: String,
+    /// 1-based line number of the header.
+    pub line: usize,
+    /// The section's `key = value` entries, in order.
+    pub entries: Vec<RawEntry>,
+}
+
+impl RawSection {
+    /// Looks an entry up by key.
+    pub fn get(&self, key: &str) -> Option<&RawEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// Every entry key, in order (for unknown-key diagnostics).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.key.as_str())
+    }
+}
+
+/// A parsed scenario document: sections in file order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawDoc {
+    /// The document's sections, in order of appearance.
+    pub sections: Vec<RawSection>,
+}
+
+impl RawDoc {
+    /// Parses the raw shape of a scenario file. Catches structural
+    /// errors: text outside any section, malformed headers, lines with
+    /// no `=`, duplicate keys within a section, duplicate section names.
+    pub fn parse(text: &str) -> Result<RawDoc, ScenarioError> {
+        let mut doc = RawDoc::default();
+        for (i, raw_line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(header) = rest.strip_suffix(']') else {
+                    return Err(ScenarioError::at(
+                        line_no,
+                        format!("unclosed section header '{line}' (expected '[name]')"),
+                    ));
+                };
+                let header = header.trim();
+                let (kind, name) = match header.split_once('.') {
+                    Some((k, n)) => (k.trim(), n.trim()),
+                    None => (header, ""),
+                };
+                if kind.is_empty() {
+                    return Err(ScenarioError::at(line_no, "empty section name '[]'"));
+                }
+                if doc
+                    .sections
+                    .iter()
+                    .any(|s| s.kind == kind && s.name == name)
+                {
+                    return Err(ScenarioError::at(
+                        line_no,
+                        format!("duplicate section '[{header}]'"),
+                    ));
+                }
+                doc.sections.push(RawSection {
+                    kind: kind.to_string(),
+                    name: name.to_string(),
+                    line: line_no,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            let Some(section) = doc.sections.last_mut() else {
+                return Err(ScenarioError::at(
+                    line_no,
+                    format!("'{line}' appears before any [section] header"),
+                ));
+            };
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ScenarioError::at(
+                    line_no,
+                    format!("expected 'key = value', got '{line}'"),
+                ));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            if key.is_empty() {
+                return Err(ScenarioError::at(line_no, "empty key before '='"));
+            }
+            if section.entries.iter().any(|e| e.key == key) {
+                return Err(ScenarioError::at(
+                    line_no,
+                    format!("duplicate key '{key}' in section '[{}]'", section.header()),
+                ));
+            }
+            section.entries.push(RawEntry {
+                key: key.to_string(),
+                value: value.to_string(),
+                line: line_no,
+            });
+        }
+        Ok(doc)
+    }
+
+    /// All sections of the given kind, in file order.
+    pub fn sections_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a RawSection> + 'a {
+        self.sections.iter().filter(move |s| s.kind == kind)
+    }
+}
+
+impl RawSection {
+    /// The section header as written ("scenario", "fleet.commodity").
+    pub fn header(&self) -> String {
+        if self.name.is_empty() {
+            self.kind.clone()
+        } else {
+            format!("{}.{}", self.kind, self.name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_entries_with_lines() {
+        let doc =
+            RawDoc::parse("# a comment\n\n[scenario]\nname = demo\n\n[fleet.big]\ncount = 4\n")
+                .unwrap();
+        assert_eq!(doc.sections.len(), 2);
+        assert_eq!(doc.sections[0].kind, "scenario");
+        assert_eq!(doc.sections[0].line, 3);
+        let e = doc.sections[0].get("name").unwrap();
+        assert_eq!((e.value.as_str(), e.line), ("demo", 4));
+        let fleet = &doc.sections[1];
+        assert_eq!((fleet.kind.as_str(), fleet.name.as_str()), ("fleet", "big"));
+        assert_eq!(fleet.get("count").unwrap().line, 7);
+    }
+
+    #[test]
+    fn structural_errors_carry_line_numbers() {
+        let cases = [
+            ("stray text\n", 1, "before any [section]"),
+            ("[scenario\n", 1, "unclosed section header"),
+            ("[]\n", 1, "empty section name"),
+            ("[s]\nno equals sign\n", 2, "expected 'key = value'"),
+            ("[s]\nk = 1\nk = 2\n", 3, "duplicate key 'k'"),
+            ("[s]\n\n[s]\n", 3, "duplicate section"),
+            ("[s]\n= v\n", 2, "empty key"),
+        ];
+        for (text, line, needle) in cases {
+            let err = RawDoc::parse(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}");
+            assert!(err.message.contains(needle), "{err}");
+            assert!(err.to_string().starts_with(&format!("line {line}:")));
+        }
+    }
+
+    #[test]
+    fn values_may_contain_equals_and_spaces() {
+        let doc = RawDoc::parse("[s]\nsummary = a = b, c\n").unwrap();
+        assert_eq!(doc.sections[0].get("summary").unwrap().value, "a = b, c");
+    }
+}

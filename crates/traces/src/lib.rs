@@ -24,8 +24,31 @@
 //! * [`arrivals`] — Poisson VM arrival/departure plans at `SimTime`
 //!   resolution, consumed as scheduled events by the event-driven
 //!   simulation engine.
+//! * [`workload`] — [`VmWorkload`], the uniform handle over patterns and
+//!   Nutanix personalities that the scenario layer (`dds-scenarios`)
+//!   composes workload mixes from.
 //! * `classify` — the paper's §I taxonomy (SLMU / LLMU / LLMI) measured
 //!   from traces, plus periodicity detection.
+//!
+//! ## Example
+//!
+//! Generate a fortnight of the scenario catalog's office workload and
+//! check it against the paper's LLMI taxonomy — everything is driven by
+//! one seed, so the trace replays bit-identically:
+//!
+//! ```
+//! use dds_sim_core::SimRng;
+//! use dds_traces::{classify, TracePattern, VmClass, VmWorkload};
+//!
+//! let mut rng = SimRng::new(42);
+//! let office = VmWorkload::Pattern(TracePattern::catalog_diurnal_office());
+//! let trace = office.generate(14 * 24, &mut rng);
+//!
+//! assert_eq!(trace.hours(), 14 * 24);
+//! assert_eq!(classify(&trace), VmClass::Llmi);
+//! let replay = office.generate(14 * 24, &mut SimRng::new(42));
+//! assert_eq!(trace.levels(), replay.levels());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -36,6 +59,7 @@ pub mod patterns;
 pub mod requests;
 pub mod trace;
 pub mod transform;
+pub mod workload;
 
 pub use arrivals::{poisson_arrivals, slmu_burst_trace, ArrivalEvent};
 pub use classify::{classify, llmi_fraction, periodicity, VmClass};
@@ -43,3 +67,4 @@ pub use nutanix::nutanix_trace;
 pub use patterns::TracePattern;
 pub use requests::{RequestGenerator, RequestProfile};
 pub use trace::VmTrace;
+pub use workload::VmWorkload;

@@ -151,6 +151,10 @@ fn profile(index: usize) -> Profile {
     }
 }
 
+/// Number of synthetic production-trace personalities (the paper's "real
+/// trace 1..5"). Valid [`nutanix_trace`] indices are `1..=PERSONALITIES`.
+pub const PERSONALITIES: usize = 5;
+
 /// Generates `hours` hours of the synthetic production trace `index`
 /// (1..=5). The same `(index, seed)` pair always yields the same trace.
 pub fn nutanix_trace(index: usize, hours: usize, rng: &SimRng) -> VmTrace {
@@ -166,7 +170,9 @@ pub fn nutanix_trace(index: usize, hours: usize, rng: &SimRng) -> VmTrace {
 
 /// All five synthetic production traces at once.
 pub fn nutanix_all(hours: usize, rng: &SimRng) -> Vec<VmTrace> {
-    (1..=5).map(|i| nutanix_trace(i, hours, rng)).collect()
+    (1..=PERSONALITIES)
+        .map(|i| nutanix_trace(i, hours, rng))
+        .collect()
 }
 
 fn level_for(p: &Profile, stamp: CalendarStamp, rng: &mut SimRng) -> f64 {

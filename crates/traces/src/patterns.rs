@@ -87,6 +87,62 @@ pub enum TracePattern {
         /// Activity level when active.
         intensity: f64,
     },
+    /// An office-style diurnal curve (scenario catalog): weekday activity
+    /// ramps up from `start_hour`, dips over lunch, peaks again in the
+    /// afternoon and tails off after `end_hour`; weekends carry only a
+    /// faint residual load. Softer than [`TracePattern::BusinessHours`] —
+    /// the edges are gradients, not steps, so the idleness model sees a
+    /// realistic shoulder instead of a square wave.
+    DiurnalOffice {
+        /// First working hour of the ramp-up (e.g. 8).
+        start_hour: u8,
+        /// Hour the evening tail begins (e.g. 18).
+        end_hour: u8,
+        /// Activity level at the morning/afternoon peaks.
+        peak: f64,
+        /// Fraction of `peak` that weekends retain (residual load).
+        weekend_level: f64,
+    },
+    /// A flash-crowd service (scenario catalog): a faint base load,
+    /// interrupted by rare crowd episodes that spike to `crowd_intensity`
+    /// and decay exponentially over `crowd_hours`. Episodes start at
+    /// Poisson-random hours, so neither the idleness model nor the
+    /// suspending module can anticipate them — the stress case for
+    /// packet-triggered wakes.
+    FlashCrowd {
+        /// Background activity level between crowds.
+        base: f64,
+        /// Expected crowd episodes per week.
+        crowds_per_week: f64,
+        /// E-folding length of an episode, in hours.
+        crowd_hours: u8,
+        /// Activity level at the head of an episode.
+        crowd_intensity: f64,
+    },
+    /// A batch-queue worker (scenario catalog): jobs accumulate during the
+    /// day and the queue is drained nightly starting at `drain_hour`, one
+    /// job per hour. The queue depth is drawn per-night (Poisson around
+    /// `mean_jobs`), so the *start* of the nightly window is predictable
+    /// (timer-friendly) while its *length* varies night to night.
+    BatchQueue {
+        /// Hour of day the nightly drain starts (0–23).
+        drain_hour: u8,
+        /// Mean number of queued jobs per night (1 job = 1 active hour).
+        mean_jobs: f64,
+        /// Activity level while draining.
+        intensity: f64,
+    },
+    /// A leisure/streaming service (scenario catalog): heavy on weekends
+    /// (midday through the evening), with a lighter weekday-evening
+    /// window — the mirror image of [`TracePattern::DiurnalOffice`], so
+    /// colocating the two patterns is exactly the win the paper's
+    /// pattern-aware placement is after.
+    WeekendHeavy {
+        /// Activity level during weekend prime time.
+        weekend_peak: f64,
+        /// Activity level during the weekday-evening window.
+        weekday_evening: f64,
+    },
     /// Always idle (useful as a control and for capacity-only tests).
     AlwaysIdle,
 }
@@ -95,12 +151,78 @@ impl TracePattern {
     /// Generates `hours` hours of activity starting at the simulation
     /// epoch. Stochastic patterns draw from `rng`; deterministic patterns
     /// ignore it.
+    ///
+    /// The episodic patterns ([`TracePattern::FlashCrowd`],
+    /// [`TracePattern::BatchQueue`]) carry state *across* hours (an
+    /// episode in flight, a queue being drained), so they are generated
+    /// here as a whole series; their [`level_for`](Self::level_for) view
+    /// exposes only the memoryless component.
     pub fn generate(&self, hours: usize, rng: &mut SimRng) -> VmTrace {
-        let mut levels = Vec::with_capacity(hours);
-        for h in 0..hours as u64 {
-            let stamp = CalendarStamp::from_hour_index(h);
-            levels.push(self.level_for(stamp, rng));
-        }
+        let levels = match *self {
+            TracePattern::FlashCrowd {
+                base,
+                crowds_per_week,
+                crowd_hours,
+                crowd_intensity,
+            } => {
+                // One Bernoulli draw per hour keeps the stream layout
+                // stable: an episode in flight never changes how many
+                // draws later hours consume.
+                let p = (crowds_per_week / (7.0 * 24.0)).clamp(0.0, 1.0);
+                let e_fold = crowd_hours.max(1) as f64;
+                let mut age: Option<f64> = None;
+                (0..hours)
+                    .map(|_| {
+                        if rng.chance(p) {
+                            age = Some(0.0);
+                        }
+                        let episode = match age {
+                            Some(a) => {
+                                let level = crowd_intensity * (-a / e_fold).exp();
+                                age = if level < 0.05 { None } else { Some(a + 1.0) };
+                                level
+                            }
+                            None => 0.0,
+                        };
+                        if episode >= 0.05 {
+                            episode.clamp(0.0, 1.0)
+                        } else {
+                            base
+                        }
+                    })
+                    .collect()
+            }
+            TracePattern::BatchQueue {
+                drain_hour,
+                mean_jobs,
+                intensity,
+            } => {
+                let mut queue: u64 = 0;
+                (0..hours as u64)
+                    .map(|h| {
+                        let stamp = CalendarStamp::from_hour_index(h);
+                        if stamp.hour == drain_hour % 24 {
+                            // The day's accumulated queue arrives; anything
+                            // left from an overlong previous night is
+                            // still in front of it.
+                            queue += rng.poisson(mean_jobs.max(0.0));
+                        }
+                        if queue > 0 {
+                            queue -= 1;
+                            intensity
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            }
+            _ => (0..hours as u64)
+                .map(|h| {
+                    let stamp = CalendarStamp::from_hour_index(h);
+                    self.level_for(stamp, rng)
+                })
+                .collect(),
+        };
         VmTrace::new(self.label(), levels)
     }
 
@@ -114,11 +236,23 @@ impl TracePattern {
             TracePattern::Llmu { .. } => "llmu".into(),
             TracePattern::Slmu { .. } => "slmu".into(),
             TracePattern::RandomBursts { .. } => "random-bursts".into(),
+            TracePattern::DiurnalOffice { .. } => "diurnal-office".into(),
+            TracePattern::FlashCrowd { .. } => "flash-crowd".into(),
+            TracePattern::BatchQueue { drain_hour, .. } => {
+                format!("batch-queue@{drain_hour:02}h")
+            }
+            TracePattern::WeekendHeavy { .. } => "weekend-heavy".into(),
             TracePattern::AlwaysIdle => "always-idle".into(),
         }
     }
 
     /// The activity level for a single calendar hour.
+    ///
+    /// For the episodic patterns ([`TracePattern::FlashCrowd`],
+    /// [`TracePattern::BatchQueue`]) this is the *memoryless* view — the
+    /// background load and the episode trigger, without the multi-hour
+    /// episode tail that only [`generate`](Self::generate) can carry
+    /// across hours.
     pub fn level_for(&self, stamp: CalendarStamp, rng: &mut SimRng) -> f64 {
         match *self {
             TracePattern::DailyBackup {
@@ -225,6 +359,105 @@ impl TracePattern {
                     0.0
                 }
             }
+            TracePattern::DiurnalOffice {
+                start_hour,
+                end_hour,
+                peak,
+                weekend_level,
+            } => {
+                let h = stamp.hour;
+                if stamp.weekday.is_weekend() {
+                    // Faint residual load over the midday hours only, so
+                    // the weekly duty cycle stays in the LLMI band.
+                    let level = peak * weekend_level;
+                    return if (12..18).contains(&h) && level >= 0.01 {
+                        level.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                }
+                let start = start_hour.min(23);
+                let end = end_hour.clamp(start.saturating_add(1), 24);
+                // Piecewise weekday shape: ramp-in shoulder, morning peak,
+                // lunch dip, afternoon plateau, two-hour tail-off.
+                let shape = if h < start || h >= end.saturating_add(2) {
+                    0.0
+                } else if h == start {
+                    0.5
+                } else if h == 12 && start < 12 && end > 13 {
+                    0.65
+                } else if h < end {
+                    if h < 12 {
+                        1.0
+                    } else {
+                        0.9
+                    }
+                } else if h == end {
+                    0.5
+                } else {
+                    0.25
+                };
+                if shape == 0.0 {
+                    0.0
+                } else {
+                    let jitter = 1.0 + 0.1 * (rng.unit() * 2.0 - 1.0);
+                    (peak * shape * jitter).clamp(0.01, 1.0)
+                }
+            }
+            TracePattern::FlashCrowd {
+                base,
+                crowds_per_week,
+                crowd_intensity,
+                ..
+            } => {
+                let p = (crowds_per_week / (7.0 * 24.0)).clamp(0.0, 1.0);
+                if rng.chance(p) {
+                    crowd_intensity.clamp(0.0, 1.0)
+                } else {
+                    base
+                }
+            }
+            TracePattern::BatchQueue {
+                drain_hour,
+                mean_jobs,
+                intensity,
+            } => {
+                // Memoryless view: the drain's first hour is active
+                // whenever the night's queue is non-empty.
+                if stamp.hour == drain_hour % 24 && rng.poisson(mean_jobs.max(0.0)) > 0 {
+                    intensity
+                } else {
+                    0.0
+                }
+            }
+            TracePattern::WeekendHeavy {
+                weekend_peak,
+                weekday_evening,
+            } => {
+                let h = stamp.hour;
+                let (level, shape) = if stamp.weekday.is_weekend() {
+                    let shape = if !(10..23).contains(&h) {
+                        0.0
+                    } else if h < 12 {
+                        0.6
+                    } else if h >= 22 {
+                        0.5
+                    } else {
+                        1.0
+                    };
+                    (weekend_peak, shape)
+                } else if (19..23).contains(&h) {
+                    (weekday_evening, 1.0)
+                } else {
+                    (0.0, 0.0)
+                };
+                if level * shape < 0.01 {
+                    0.0
+                } else {
+                    let jitter = 1.0 + 0.1 * (rng.unit() * 2.0 - 1.0);
+                    (level * shape * jitter).clamp(0.01, 1.0)
+                }
+            }
             TracePattern::AlwaysIdle => 0.0,
         }
     }
@@ -263,6 +496,46 @@ impl TracePattern {
             mean: 0.75,
             std_dev: 0.12,
             idle_chance: 0.0,
+        }
+    }
+
+    /// The scenario-catalog office day: 8 h–18 h weekdays, quiet weekends.
+    pub fn catalog_diurnal_office() -> TracePattern {
+        TracePattern::DiurnalOffice {
+            start_hour: 8,
+            end_hour: 18,
+            peak: 0.7,
+            weekend_level: 0.05,
+        }
+    }
+
+    /// The scenario-catalog flash-crowd service: ~2 crowds a week over a
+    /// faint base load.
+    pub fn catalog_flash_crowd() -> TracePattern {
+        TracePattern::FlashCrowd {
+            base: 0.04,
+            crowds_per_week: 2.0,
+            crowd_hours: 3,
+            crowd_intensity: 0.95,
+        }
+    }
+
+    /// The scenario-catalog batch queue: nightly drain at 1 a.m., four
+    /// jobs a night on average.
+    pub fn catalog_batch_queue() -> TracePattern {
+        TracePattern::BatchQueue {
+            drain_hour: 1,
+            mean_jobs: 4.0,
+            intensity: 0.9,
+        }
+    }
+
+    /// The scenario-catalog leisure service: weekend prime time plus
+    /// weekday evenings.
+    pub fn catalog_weekend_heavy() -> TracePattern {
+        TracePattern::WeekendHeavy {
+            weekend_peak: 0.8,
+            weekday_evening: 0.35,
         }
     }
 }
@@ -438,5 +711,111 @@ mod tests {
         );
         assert_eq!(TracePattern::paper_comic_strips().label(), "comic-strips");
         assert_eq!(TracePattern::AlwaysIdle.label(), "always-idle");
+        assert_eq!(
+            TracePattern::catalog_diurnal_office().label(),
+            "diurnal-office"
+        );
+        assert_eq!(TracePattern::catalog_flash_crowd().label(), "flash-crowd");
+        assert_eq!(
+            TracePattern::catalog_batch_queue().label(),
+            "batch-queue@01h"
+        );
+        assert_eq!(
+            TracePattern::catalog_weekend_heavy().label(),
+            "weekend-heavy"
+        );
+    }
+
+    #[test]
+    fn diurnal_office_has_workday_shape() {
+        let t = TracePattern::catalog_diurnal_office().generate(14 * 24, &mut rng());
+        // Monday: idle before the ramp, shoulder at 8, peak mid-morning,
+        // lunch dip, tail after 18, idle at night.
+        assert_eq!(t.levels()[6], 0.0);
+        assert!(t.levels()[8] > 0.0 && t.levels()[8] < t.levels()[10]);
+        assert!(t.levels()[12] < t.levels()[10], "lunch dip");
+        assert!(t.levels()[18] > 0.0 && t.levels()[18] < t.levels()[15]);
+        assert_eq!(t.levels()[23], 0.0);
+        // Weekend (days 5–6): only the faint residual.
+        for h in 0..24 {
+            assert!(t.levels()[5 * 24 + h] <= 0.05 * 0.7 * 1.2 + 1e-9);
+        }
+        // Plenty of recurring structure for the idleness model.
+        assert!(t.duty_cycle() > 0.2 && t.duty_cycle() < 0.6);
+    }
+
+    #[test]
+    fn flash_crowd_episodes_spike_and_decay() {
+        let p = TracePattern::catalog_flash_crowd();
+        let t = p.generate(26 * 7 * 24, &mut rng());
+        let spikes: Vec<usize> = (0..t.hours()).filter(|&h| t.levels()[h] > 0.9).collect();
+        // ~2 a week over 26 weeks; Poisson slack on both sides.
+        assert!(
+            (20..=110).contains(&spikes.len()),
+            "spike count {}",
+            spikes.len()
+        );
+        // Right after a spike head the episode is still elevated above
+        // base, then decays.
+        let head = spikes[0];
+        assert!(t.levels()[head + 1] > 0.2);
+        assert!(t.levels()[head + 1] > t.levels()[head + 2]);
+        // Between episodes the service idles at base.
+        let base_hours = (0..t.hours())
+            .filter(|&h| (t.levels()[h] - 0.04).abs() < 1e-12)
+            .count();
+        assert!(base_hours > t.hours() / 2, "base hours {base_hours}");
+    }
+
+    #[test]
+    fn batch_queue_drains_nightly_from_its_start_hour() {
+        let p = TracePattern::catalog_batch_queue();
+        let t = p.generate(60 * 24, &mut rng());
+        for day in 0..60u64 {
+            // Hour 0 of each day precedes the 1 a.m. drain; it can only be
+            // active if the previous night's queue ran long.
+            let drain_start = day * 24 + 1;
+            let next = t.level_at_hour(drain_start);
+            // The drain is all-or-nothing per hour.
+            assert!(next == 0.0 || next == 0.9);
+        }
+        // Mean ~4 jobs/night at 1 job/hour → duty near 4/24.
+        assert!(
+            (t.duty_cycle() - 4.0 / 24.0).abs() < 0.04,
+            "duty {}",
+            t.duty_cycle()
+        );
+        // Active hours form contiguous runs starting at the drain hour.
+        let active_at_1am = (0..60u64)
+            .filter(|d| t.level_at_hour(d * 24 + 1) > 0.0)
+            .count();
+        assert!(active_at_1am > 50, "most nights have work: {active_at_1am}");
+    }
+
+    #[test]
+    fn weekend_heavy_mirrors_the_office_week() {
+        let t = TracePattern::catalog_weekend_heavy().generate(14 * 24, &mut rng());
+        // Saturday (day 5) prime time busy; Monday morning idle.
+        assert!(t.levels()[5 * 24 + 15] > 0.5);
+        assert_eq!(t.levels()[10], 0.0);
+        // Weekday evening window lighter than weekend prime time.
+        assert!(t.levels()[20] > 0.0 && t.levels()[20] < t.levels()[5 * 24 + 15]);
+        // Nights idle everywhere.
+        assert_eq!(t.levels()[3], 0.0);
+        assert_eq!(t.levels()[5 * 24 + 3], 0.0);
+    }
+
+    #[test]
+    fn episodic_patterns_are_deterministic_per_seed() {
+        for p in [
+            TracePattern::catalog_flash_crowd(),
+            TracePattern::catalog_batch_queue(),
+            TracePattern::catalog_diurnal_office(),
+            TracePattern::catalog_weekend_heavy(),
+        ] {
+            let a = p.generate(2_000, &mut SimRng::new(77));
+            let b = p.generate(2_000, &mut SimRng::new(77));
+            assert_eq!(a.levels(), b.levels(), "{}", p.label());
+        }
     }
 }

@@ -14,6 +14,8 @@
 //! * [`placement`] — Nova-style scheduler, Neat, Oasis and Drowsy-DC
 //!   placement algorithms.
 //! * [`system`] — the integrated datacenter model and controllers.
+//! * [`scenarios`] — the declarative scenario catalog: fleet + workload
+//!   mix + engine + policies in a text format, run through the sweep.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub use dds_idleness as idleness;
 pub use dds_net as net;
 pub use dds_placement as placement;
 pub use dds_power as power;
+pub use dds_scenarios as scenarios;
 pub use dds_sim_core as sim;
 pub use dds_traces as traces;
 
@@ -55,6 +58,7 @@ pub mod prelude {
     pub use dds_placement::policy::{ControlPlan, ControlPolicy, PlanningView, SleepDepth};
     pub use dds_placement::{SleepScaleConfig, SleepScalePolicy};
     pub use dds_power::{HostPowerModel, PowerState};
+    pub use dds_scenarios::{run_scenario, Scenario, ScenarioError};
     pub use dds_sim_core::{HostId, SimDuration, SimEngine, SimTime, VmId};
     pub use dds_traces::{TracePattern, VmTrace};
 }
