@@ -45,9 +45,13 @@ impl Datacenter {
     /// Finishes the run (flushes meters) and produces the outcome.
     pub fn finish(mut self) -> DcOutcome {
         let end = SimTime::from_hours(self.hour);
+        let mut timelines = Vec::new();
         for h in &mut self.hosts {
             let state = h.power.state();
             h.meter.advance(end, state, 0.0);
+            if let Some(tl) = h.meter.take_timeline() {
+                timelines.push(tl);
+            }
         }
         let mut account = DcEnergyAccount::new();
         let mut suspended_fraction = Vec::new();
@@ -82,6 +86,8 @@ impl Datacenter {
             colocation,
             sla,
             suspend_cycles,
+            timelines,
+            placements: self.placements,
         }
     }
 }

@@ -111,6 +111,13 @@ impl Datacenter {
         self.vms[vm_id.index()].host = to;
         self.vms[vm_id.index()].migrations += 1;
         self.vms[vm_id.index()].last_migration_hour = Some(self.hour);
+        if self.cfg.track_power_timeline {
+            self.placements.push(PlacementRecord {
+                vm: vm_id,
+                at: now,
+                host: to,
+            });
+        }
     }
 
     /// One control period.

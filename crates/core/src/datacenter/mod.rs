@@ -67,7 +67,8 @@ use dds_placement::{
     SleepScaleConfig, VmState,
 };
 use dds_power::{
-    DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, WakeSpeed,
+    DcEnergyAccount, EnergyMeter, HostPowerModel, PowerState, PowerStateMachine, PowerTimeline,
+    WakeSpeed,
 };
 use dds_sim_core::time::CalendarStamp;
 use dds_sim_core::{HostId, RackId, SimDuration, SimRng, SimTime, VmId};
@@ -204,6 +205,10 @@ pub struct DcConfig {
     pub track_colocation: bool,
     /// Record request latencies (SLA analysis).
     pub track_sla: bool,
+    /// Record per-host [`PowerTimeline`]s and the VM placement log, the
+    /// inputs of the request-level QoS replay (`dds-qos`). Off by
+    /// default: energy-only experiments pay nothing for it.
+    pub track_power_timeline: bool,
 }
 
 impl DcConfig {
@@ -229,6 +234,7 @@ impl DcConfig {
             sla: SimDuration::from_millis(200),
             track_colocation: true,
             track_sla: true,
+            track_power_timeline: false,
         }
     }
 }
@@ -315,6 +321,13 @@ pub struct DcOutcome {
     pub sla: SlaStats,
     /// Suspend cycles per host (oscillation diagnostics).
     pub suspend_cycles: Vec<(HostId, u64)>,
+    /// Per-host power-state timelines (indexed by host), recorded under
+    /// [`DcConfig::track_power_timeline`]; empty otherwise. The QoS
+    /// replay's view of when each host could actually serve.
+    pub timelines: Vec<PowerTimeline>,
+    /// The VM placement log (see [`PlacementRecord`]), recorded under
+    /// [`DcConfig::track_power_timeline`]; empty otherwise.
+    pub placements: Vec<PlacementRecord>,
 }
 
 impl DcOutcome {
@@ -322,6 +335,23 @@ impl DcOutcome {
     pub fn total_migrations(&self) -> u32 {
         self.migrations.iter().map(|(_, n)| n).sum()
     }
+}
+
+/// One VM placement assignment, as recorded by the placement log (under
+/// [`DcConfig::track_power_timeline`]): from `at` on, the VM runs on
+/// `host` — until its next record or the end of the run. Initial
+/// placement, admissions, migrations, swaps and Oasis park/unpark moves
+/// all append records, so the log is a complete residency history; the
+/// QoS replay routes each request to the host its VM occupied at the
+/// request's arrival instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementRecord {
+    /// The placed VM.
+    pub vm: VmId,
+    /// Instant the assignment took effect.
+    pub at: SimTime,
+    /// Destination host.
+    pub host: HostId,
 }
 
 /// One host resume, as recorded by the wake log: when the wake began
@@ -360,6 +390,9 @@ pub struct Datacenter {
     service_ms_sum: f64,
     service_ms_count: u64,
     wake_log: Vec<WakeRecord>,
+    /// Placement log (under `track_power_timeline`): every assignment a
+    /// VM ever received, in time order.
+    placements: Vec<PlacementRecord>,
     /// Event-engine mode: leave parked (S3/S5) hosts' meters untouched at
     /// control-period boundaries so a mid-hour resume integrates the
     /// parked span over its true variable-length interval. The legacy
@@ -411,10 +444,14 @@ impl Datacenter {
                 // Heterogeneous fleets override the fleet-wide power model
                 // (and its suspend/resume latencies) per host class.
                 let model = spec.power.clone().unwrap_or_else(|| cfg.power.clone());
+                let mut meter = EnergyMeter::new(model, start);
+                if cfg.track_power_timeline {
+                    meter.enable_timeline();
+                }
                 HostSim {
                     spec,
                     power: PowerStateMachine::new(start),
-                    meter: EnergyMeter::new(model, start),
+                    meter,
                     procs,
                     timers: TimerWheel::new(),
                     suspend: SuspendModule::new(suspend_cfg.clone()),
@@ -449,6 +486,17 @@ impl Datacenter {
                 }
             })
             .collect();
+        let placements = if cfg.track_power_timeline {
+            vms.iter()
+                .map(|v| PlacementRecord {
+                    vm: v.spec.id,
+                    at: start,
+                    host: v.host,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let n = vms.len();
         Datacenter {
             policy,
@@ -464,6 +512,7 @@ impl Datacenter {
             service_ms_sum: 0.0,
             service_ms_count: 0,
             wake_log: Vec::new(),
+            placements,
             defer_parked_metering: false,
             cfg,
             hosts,
@@ -549,6 +598,13 @@ impl Datacenter {
             spec,
         });
         self.live_vms += 1;
+        if self.cfg.track_power_timeline {
+            self.placements.push(PlacementRecord {
+                vm: self.vms.last().expect("just pushed").spec.id,
+                at: now,
+                host: dest,
+            });
+        }
         // Grow the colocation matrix.
         let n = self.vms.len();
         for row in &mut self.coloc_hours {

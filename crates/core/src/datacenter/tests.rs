@@ -616,6 +616,93 @@ fn sleepscale_sends_long_idle_hosts_to_s5() {
 }
 
 #[test]
+fn power_timelines_and_placement_log_export_when_tracked() {
+    let mk = |track: bool| {
+        let hosts = vec![
+            HostSpec::testbed_machine(HostId(0), "P0"),
+            HostSpec::testbed_machine(HostId(1), "P1"),
+        ];
+        let busy = TracePattern::RandomBursts {
+            duty: 0.3,
+            intensity: 0.6,
+        }
+        .generate(48, &mut SimRng::new(9));
+        let vms = vec![
+            VmSpec::testbed_flavor(VmId(0), "V0", busy, WorkloadKind::Interactive),
+            VmSpec::testbed_flavor(VmId(1), "V1", idle_trace(48), WorkloadKind::Interactive),
+        ];
+        let mut cfg = DcConfig::paper_default();
+        cfg.track_power_timeline = track;
+        Datacenter::new(
+            cfg,
+            Algorithm::DrowsyDc,
+            hosts,
+            vms,
+            vec![HostId(0), HostId(1)],
+            None,
+            42,
+        )
+    };
+    // Untracked: the outcome carries no timelines and no placement log.
+    let mut dc = mk(false);
+    dc.run(48);
+    let out = dc.finish();
+    assert!(out.timelines.is_empty());
+    assert!(out.placements.is_empty());
+
+    // Tracked: one timeline per host, covering the full run exactly, and
+    // a placement log starting with the initial assignment of every VM.
+    let mut dc = mk(true);
+    dc.run(48);
+    let wakes: Vec<WakeRecord> = dc.wake_log().to_vec();
+    let energy_untracked = out.energy_kwh;
+    let out = dc.finish();
+    assert_eq!(
+        out.energy_kwh.to_bits(),
+        energy_untracked.to_bits(),
+        "timeline recording must not perturb the physics"
+    );
+    assert_eq!(out.timelines.len(), 2);
+    for tl in &out.timelines {
+        assert_eq!(tl.start(), Some(SimTime::EPOCH));
+        assert_eq!(tl.end(), Some(SimTime::from_hours(48)));
+    }
+    // The busy host cycled through suspend/resume; its timeline shows
+    // low-power spans and matching resume windows.
+    let any_parked = out
+        .timelines
+        .iter()
+        .any(|tl| !tl.time_in(|s| s.is_low_power()).is_zero());
+    assert!(any_parked, "a drowsy run parks hosts");
+    assert!(out.placements.len() >= 2, "initial placement recorded");
+    assert_eq!(out.placements[0].vm, VmId(0));
+    assert_eq!(out.placements[0].at, SimTime::EPOCH);
+    assert_eq!(out.placements[1].vm, VmId(1));
+    assert!(out.placements.iter().all(|p| p.host.index() < 2));
+    // Every wake in the log appears in its host's timeline as a resume
+    // window ending at the wake's operational instant.
+    assert!(!wakes.is_empty(), "the bursty VM triggered wakes");
+    for w in &wakes {
+        let tl = &out.timelines[w.host.index()];
+        assert_eq!(
+            tl.state_at(w.started),
+            Some(dds_power::PowerState::Resuming),
+            "wake at {} is a resume span",
+            w.started
+        );
+        assert_eq!(
+            tl.operational_from(w.started),
+            Some(w.operational),
+            "resume completes at the logged operational instant"
+        );
+        assert_eq!(
+            tl.resume_window_after(w.started),
+            Some((w.started, w.operational))
+        );
+    }
+}
+
+#[test]
 fn sleepscale_timer_wakes_from_s5_are_still_anticipated() {
     // A daily backup with a >4 h gap: SleepScale chooses S5, and the
     // waking module still resumes the host ahead of the timer.

@@ -14,13 +14,18 @@
 //!   transitions and their latencies (suspend ≈ seconds, resume 0.8–1.5 s).
 //! * [`EnergyMeter`] — integrates watts over simulated time and tracks the
 //!   per-state residency needed for Table I.
+//! * [`PowerTimeline`] — the opt-in per-host state history the meter can
+//!   record as a by-product, consumed by the request-level QoS replay
+//!   (`dds-qos`) to charge wake latencies to individual requests.
 
 #![warn(missing_docs)]
 
 pub mod meter;
 pub mod model;
 pub mod state;
+pub mod timeline;
 
 pub use meter::{DcEnergyAccount, EnergyMeter};
 pub use model::{HostPowerModel, TransitionTimings};
 pub use state::{PowerState, PowerStateMachine, TransitionError, WakeSpeed};
+pub use timeline::{PowerInterval, PowerTimeline};

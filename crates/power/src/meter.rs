@@ -9,6 +9,7 @@
 
 use crate::model::HostPowerModel;
 use crate::state::PowerState;
+use crate::timeline::PowerTimeline;
 use dds_sim_core::{SimDuration, SimTime};
 
 /// Joules per kilowatt-hour.
@@ -24,6 +25,9 @@ pub struct EnergyMeter {
     /// [`PowerState`]: Active, Suspending, Suspended, Resuming, Off.
     residency: [SimDuration; 5],
     suspend_cycles: u64,
+    /// Opt-in state history (see [`EnergyMeter::enable_timeline`]); `None`
+    /// keeps `advance` allocation-free for the energy-only experiments.
+    timeline: Option<PowerTimeline>,
 }
 
 fn state_slot(state: PowerState) -> usize {
@@ -45,7 +49,29 @@ impl EnergyMeter {
             joules: 0.0,
             residency: [SimDuration::ZERO; 5],
             suspend_cycles: 0,
+            timeline: None,
         }
+    }
+
+    /// Starts recording a [`PowerTimeline`] alongside the energy
+    /// integration: every `advance` appends its `(state, interval)` span.
+    /// Enable before the first `advance` so the history is complete.
+    pub fn enable_timeline(&mut self) {
+        if self.timeline.is_none() {
+            self.timeline = Some(PowerTimeline::new());
+        }
+    }
+
+    /// The recorded state history (`None` unless
+    /// [`EnergyMeter::enable_timeline`] was called).
+    pub fn timeline(&self) -> Option<&PowerTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Takes the recorded state history out of the meter (outcome
+    /// assembly), leaving timeline recording disabled.
+    pub fn take_timeline(&mut self) -> Option<PowerTimeline> {
+        self.timeline.take()
     }
 
     /// The power model in use.
@@ -65,6 +91,9 @@ impl EnergyMeter {
         }
         self.joules += self.model.energy_joules(state, utilization, dt);
         self.residency[state_slot(state)] += dt;
+        if let Some(tl) = &mut self.timeline {
+            tl.record(state, self.last_update, now);
+        }
         self.last_update = now;
     }
 
@@ -239,6 +268,33 @@ mod tests {
         m.record_suspend_cycle();
         m.record_suspend_cycle();
         assert_eq!(m.suspend_cycles(), 2);
+    }
+
+    #[test]
+    fn timeline_recording_mirrors_the_metered_spans() {
+        let mut m = EnergyMeter::new(HostPowerModel::paper_default(), t(0));
+        assert!(m.timeline().is_none(), "recording is opt-in");
+        m.enable_timeline();
+        m.enable_timeline(); // idempotent: does not reset the history
+        m.advance(t(10), PowerState::Active, 0.5);
+        m.advance(t(20), PowerState::Active, 0.9); // same state: merges
+        m.advance(t(23), PowerState::Suspending, 0.0);
+        m.advance(t(100), PowerState::Suspended, 0.0);
+        let tl = m.timeline().expect("enabled");
+        assert_eq!(tl.intervals().len(), 3);
+        assert_eq!(tl.end(), Some(t(100)));
+        assert_eq!(tl.state_at(t(50)), Some(PowerState::Suspended));
+        // Residency and timeline agree on every state's total time.
+        for s in [
+            PowerState::Active,
+            PowerState::Suspending,
+            PowerState::Suspended,
+        ] {
+            assert_eq!(tl.time_in(|x| x == s), m.residency(s), "{s}");
+        }
+        let taken = m.take_timeline().expect("taken once");
+        assert_eq!(taken.intervals().len(), 3);
+        assert!(m.take_timeline().is_none());
     }
 
     #[test]

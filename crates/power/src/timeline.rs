@@ -1,0 +1,230 @@
+//! Per-host power-state timelines.
+//!
+//! A [`PowerTimeline`] is the complete state history of one host over a
+//! run: contiguous `[start, end)` intervals tagged with the
+//! [`PowerState`] the host was in. The [`EnergyMeter`](crate::EnergyMeter)
+//! records one (opt-in) as a by-product of its normal `advance` calls, so
+//! the timeline is exactly as precise as the energy accounting — suspend
+//! instants, resume windows and mid-hour wakes land at their true
+//! millisecond instants.
+//!
+//! The request-level QoS subsystem (`dds-qos`) replays per-VM request
+//! streams against these timelines: a request arriving while its host is
+//! parked (S3/S5) or mid-resume queues until the next operational
+//! instant, which [`PowerTimeline::operational_from`] answers in
+//! O(log intervals).
+
+use crate::state::PowerState;
+use dds_sim_core::{SimDuration, SimTime};
+
+/// One maximal span of constant power state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerInterval {
+    /// Inclusive start of the span.
+    pub start: SimTime,
+    /// Exclusive end of the span.
+    pub end: SimTime,
+    /// State the host held throughout `[start, end)`.
+    pub state: PowerState,
+}
+
+impl PowerInterval {
+    /// Length of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// The power-state history of one host: contiguous, time-ordered
+/// intervals with adjacent same-state spans merged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PowerTimeline {
+    intervals: Vec<PowerInterval>,
+}
+
+impl PowerTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        PowerTimeline {
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Appends the span `[from, to)` in `state`. Zero-length spans are
+    /// dropped; a span continuing the previous state extends it in place
+    /// (so week-long runs stay at a handful of intervals per suspend
+    /// cycle). Spans must be appended in time order.
+    pub fn record(&mut self, state: PowerState, from: SimTime, to: SimTime) {
+        if to <= from {
+            return;
+        }
+        if let Some(last) = self.intervals.last_mut() {
+            debug_assert!(
+                from >= last.end,
+                "timeline spans must be appended in time order"
+            );
+            if last.state == state && last.end == from {
+                last.end = to;
+                return;
+            }
+        }
+        self.intervals.push(PowerInterval {
+            start: from,
+            end: to,
+            state,
+        });
+    }
+
+    /// The recorded intervals, in time order.
+    pub fn intervals(&self) -> &[PowerInterval] {
+        &self.intervals
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// First recorded instant.
+    pub fn start(&self) -> Option<SimTime> {
+        self.intervals.first().map(|i| i.start)
+    }
+
+    /// End of the last recorded interval.
+    pub fn end(&self) -> Option<SimTime> {
+        self.intervals.last().map(|i| i.end)
+    }
+
+    /// Index of the interval containing `t`, if any.
+    fn index_at(&self, t: SimTime) -> Option<usize> {
+        let i = self.intervals.partition_point(|iv| iv.end <= t);
+        (i < self.intervals.len() && self.intervals[i].start <= t).then_some(i)
+    }
+
+    /// The state at instant `t` (`None` outside the recorded range).
+    pub fn state_at(&self, t: SimTime) -> Option<PowerState> {
+        self.index_at(t).map(|i| self.intervals[i].state)
+    }
+
+    /// Earliest instant `>= t` at which the host is operational
+    /// ([`PowerState::is_operational`]): `t` itself when the host is
+    /// active at `t`, otherwise the start of the next active interval.
+    /// `None` when the host never runs again within the timeline.
+    pub fn operational_from(&self, t: SimTime) -> Option<SimTime> {
+        let from = self.index_at(t)?;
+        if self.intervals[from].state.is_operational() {
+            return Some(t);
+        }
+        self.intervals[from + 1..]
+            .iter()
+            .find(|iv| iv.state.is_operational())
+            .map(|iv| iv.start)
+    }
+
+    /// The resume window (`Resuming` span) that ends at the operational
+    /// instant following `t`, if the host was parked or resuming at `t`:
+    /// `(resume_start, operational)`. The QoS replay charges the
+    /// wake-triggering request exactly this window — the paper's ≈1500 ms
+    /// stock / ≈800 ms quick-resume latency.
+    pub fn resume_window_after(&self, t: SimTime) -> Option<(SimTime, SimTime)> {
+        let from = self.index_at(t)?;
+        if self.intervals[from].state.is_operational() {
+            return None;
+        }
+        for iv in &self.intervals[from..] {
+            if iv.state == PowerState::Resuming {
+                return Some((iv.start, iv.end));
+            }
+            if iv.state.is_operational() {
+                // Operational without an explicit resume span (e.g. the
+                // host was suspending and the span was aborted).
+                return Some((iv.start, iv.start));
+            }
+        }
+        None
+    }
+
+    /// Total time spent in states satisfying `pred` (diagnostics).
+    pub fn time_in(&self, pred: impl Fn(PowerState) -> bool) -> SimDuration {
+        self.intervals
+            .iter()
+            .filter(|iv| pred(iv.state))
+            .fold(SimDuration::ZERO, |acc, iv| acc + iv.duration())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sample() -> PowerTimeline {
+        let mut tl = PowerTimeline::new();
+        tl.record(PowerState::Active, t(0), t(100));
+        tl.record(PowerState::Suspending, t(100), t(103));
+        tl.record(PowerState::Suspended, t(103), t(200));
+        tl.record(PowerState::Resuming, t(200), t(201));
+        tl.record(PowerState::Active, t(201), t(300));
+        tl
+    }
+
+    #[test]
+    fn adjacent_same_state_spans_merge() {
+        let mut tl = PowerTimeline::new();
+        tl.record(PowerState::Active, t(0), t(10));
+        tl.record(PowerState::Active, t(10), t(20));
+        tl.record(PowerState::Active, t(20), t(20)); // zero-length: dropped
+        tl.record(PowerState::Suspended, t(20), t(30));
+        assert_eq!(tl.intervals().len(), 2);
+        assert_eq!(tl.intervals()[0].end, t(20));
+        assert_eq!(tl.intervals()[0].duration(), SimDuration::from_secs(20));
+        assert_eq!(tl.end(), Some(t(30)));
+        assert_eq!(tl.start(), Some(t(0)));
+    }
+
+    #[test]
+    fn state_queries_hit_the_right_interval() {
+        let tl = sample();
+        assert_eq!(tl.state_at(t(0)), Some(PowerState::Active));
+        assert_eq!(tl.state_at(t(99)), Some(PowerState::Active));
+        assert_eq!(tl.state_at(t(100)), Some(PowerState::Suspending));
+        assert_eq!(tl.state_at(t(150)), Some(PowerState::Suspended));
+        assert_eq!(tl.state_at(t(200)), Some(PowerState::Resuming));
+        assert_eq!(tl.state_at(t(299)), Some(PowerState::Active));
+        assert_eq!(tl.state_at(t(300)), None, "end is exclusive");
+    }
+
+    #[test]
+    fn operational_from_waits_for_the_resume() {
+        let tl = sample();
+        // Already active: no wait.
+        assert_eq!(tl.operational_from(t(50)), Some(t(50)));
+        // Parked or resuming: wait until the resume completes.
+        assert_eq!(tl.operational_from(t(101)), Some(t(201)));
+        assert_eq!(tl.operational_from(t(150)), Some(t(201)));
+        assert_eq!(tl.operational_from(t(200)), Some(t(201)));
+        // Beyond the record: unknown.
+        assert_eq!(tl.operational_from(t(300)), None);
+    }
+
+    #[test]
+    fn resume_window_is_exposed() {
+        let tl = sample();
+        assert_eq!(tl.resume_window_after(t(150)), Some((t(200), t(201))));
+        assert_eq!(tl.resume_window_after(t(200)), Some((t(200), t(201))));
+        assert_eq!(tl.resume_window_after(t(50)), None, "active: no window");
+    }
+
+    #[test]
+    fn parked_host_never_waking_reports_none() {
+        let mut tl = PowerTimeline::new();
+        tl.record(PowerState::Active, t(0), t(10));
+        tl.record(PowerState::Suspended, t(10), t(50));
+        assert_eq!(tl.operational_from(t(20)), None);
+        assert_eq!(tl.resume_window_after(t(20)), None);
+        assert_eq!(tl.time_in(|s| s.is_low_power()), SimDuration::from_secs(40));
+    }
+}

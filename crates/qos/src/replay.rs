@@ -1,0 +1,439 @@
+//! The request-level replay: per-VM Poisson request streams served
+//! against the power-state timeline of a finished run.
+//!
+//! ## Model
+//!
+//! The replay is **open-loop and post-hoc**: the datacenter run decides
+//! power states (and records them as [`PowerTimeline`]s plus a placement
+//! log); the replay then drives each interactive VM's request stream —
+//! Poisson arrivals whose hourly rate follows the VM's activity trace,
+//! exactly the client the paper's testbed runs — through that timeline:
+//!
+//! * Requests are routed to the host the VM occupied at the arrival
+//!   instant (the placement log covers migrations, swaps and parking).
+//! * A request arriving while the host is **operational** starts service
+//!   as soon as one of the VM's `vcpus` FCFS servers is free.
+//! * A request arriving while the host is **parked (S3/S5)** is the wake
+//!   trigger of that sleep episode if it is the VM's first: it pays
+//!   exactly the resume latency recorded in the timeline (≈1500 ms stock,
+//!   ≈800 ms quick resume — §VI.A.3), then its service time. Later
+//!   arrivals of the episode queue behind the wake (and each other).
+//! * A request arriving during the **resume window** waits for the
+//!   resume to complete.
+//!
+//! Wake attribution is per VM: colocated VMs replaying in parallel each
+//! charge their own first request of an episode the full resume, which is
+//! conservative (never hides a wake) and keeps every VM's replay
+//! independent — the property that lets the replay fan out over threads
+//! with bit-identical merged reports (all [`QosReport`] state is exact
+//! integer accumulation; see `dds_sim_core::stats::LatencyHistogram`).
+//!
+//! Deliberately out of scope: DVFS service stretching (SleepScale's
+//! downclocking is charged in energy, not replayed here) and request
+//! feedback into power decisions (the run's wake instants come from the
+//! simulation's own first-packet model).
+
+use crate::report::QosReport;
+use dds_core::cluster::{ClusterOutcome, ClusterSpec};
+use dds_core::datacenter::{DcOutcome, PlacementRecord};
+use dds_core::registry::PolicyRegistry;
+use dds_core::spec::{VmSpec, WorkloadKind};
+use dds_power::PowerTimeline;
+use dds_sim_core::{SimRng, SimTime};
+use dds_traces::{RequestGenerator, RequestProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a QoS replay.
+#[derive(Debug, Clone)]
+pub struct QosConfig {
+    /// The request workload attached to every interactive VM.
+    pub profile: RequestProfile,
+    /// Activity noise threshold: hours below it are idle (no requests),
+    /// matching the datacenter's own activity gating.
+    pub noise: f64,
+}
+
+impl QosConfig {
+    /// The paper's SLA setup on the quick-resume testbed.
+    pub fn paper_default() -> Self {
+        QosConfig {
+            profile: RequestProfile::web_search_quick_resume(),
+            noise: 0.005,
+        }
+    }
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The placement history of one VM: `(from, host)` assignments in time
+/// order.
+#[derive(Debug, Clone, Default)]
+struct VmResidency {
+    moves: Vec<(SimTime, dds_sim_core::HostId)>,
+}
+
+impl VmResidency {
+    fn host_at(&self, t: SimTime) -> Option<dds_sim_core::HostId> {
+        let i = self.moves.partition_point(|&(at, _)| at <= t);
+        i.checked_sub(1).map(|i| self.moves[i].1)
+    }
+}
+
+/// Groups the placement log by VM over `slots` dense VM ids. Records of
+/// VMs beyond `slots` (e.g. mid-run admissions whose specs the caller
+/// did not pass) are ignored — the replay covers exactly the provided
+/// population.
+fn residencies(placements: &[PlacementRecord], slots: usize) -> Vec<VmResidency> {
+    let mut per_vm = vec![VmResidency::default(); slots];
+    for rec in placements {
+        if let Some(vm) = per_vm.get_mut(rec.vm.index()) {
+            vm.moves.push((rec.at, rec.host));
+        }
+    }
+    per_vm
+}
+
+/// Replays one VM's request stream. Everything this touches is derived
+/// from `(seed, vm index)` and the run's recorded state, so the result is
+/// a pure function — the unit of parallelism.
+fn replay_vm(
+    vm: &VmSpec,
+    residency: &VmResidency,
+    timelines: &[PowerTimeline],
+    cfg: &QosConfig,
+    seed: u64,
+    hours: u64,
+) -> QosReport {
+    let sla_ms = cfg.profile.sla.as_millis();
+    let mut report = QosReport::new(sla_ms);
+    if vm.kind != WorkloadKind::Interactive {
+        // Timer-driven VMs are woken ahead of time (no request latency);
+        // batch VMs have no request stream.
+        return report;
+    }
+    let rng = SimRng::new(seed).stream_indexed("qos-requests", vm.id.index() as u64);
+    let mut generator = RequestGenerator::new(vm.trace.clone(), cfg.profile.clone(), rng);
+    // One FCFS server per vCPU: earliest-free wins, ties by slot index.
+    let servers = (vm.vcpus.round() as usize).max(1);
+    let mut free = vec![SimTime::EPOCH; servers];
+    // The sleep episode (keyed by its operational end) this VM last woke,
+    // and the instant its trigger-started resume completes.
+    let mut episode: Option<(SimTime, SimTime)> = None;
+
+    for hour in 0..hours {
+        if vm.trace.level_at_hour(hour) < cfg.noise {
+            continue;
+        }
+        for arrival in generator.arrivals_in_hour(hour) {
+            let service = generator.sample_service();
+            let Some(host) = residency.host_at(arrival) else {
+                report.unserved += 1;
+                continue;
+            };
+            let timeline = &timelines[host.index()];
+            let Some(operational) = timeline.operational_from(arrival) else {
+                // Parked through the end of the recorded run.
+                report.unserved += 1;
+                continue;
+            };
+            let power_ready = if operational == arrival {
+                arrival
+            } else {
+                // The (resume_start, operational) window of this episode;
+                // an aborted suspend resolves to a zero-length window.
+                let (resume_start, resume_end) = timeline
+                    .resume_window_after(arrival)
+                    .unwrap_or((operational, operational));
+                let resume = resume_end.saturating_since(resume_start);
+                let ready = match episode {
+                    Some((end, ready)) if end == resume_end => ready,
+                    _ => {
+                        // First request of the episode: the paper's wake
+                        // trigger. Parked-state arrivals fire the wake at
+                        // their own instant and pay exactly the resume
+                        // latency; mid-resume arrivals join a wake that
+                        // was already in flight.
+                        let ready = if arrival <= resume_start {
+                            arrival + resume
+                        } else {
+                            resume_end
+                        };
+                        episode = Some((resume_end, ready));
+                        ready
+                    }
+                };
+                ready.max(arrival)
+            };
+            // FCFS onto the earliest-free server.
+            let slot = (0..servers)
+                .min_by_key(|&i| free[i])
+                .expect("at least one server");
+            let start = power_ready.max(free[slot]);
+            let done = start + service;
+            free[slot] = done;
+            let latency_ms = done.saturating_since(arrival).as_millis();
+            report.record(latency_ms, power_ready > arrival);
+        }
+    }
+    report
+}
+
+/// Replays every VM of a finished run and returns the merged
+/// [`QosReport`]. `outcome` must carry power timelines and a placement
+/// log (run with `DcConfig::track_power_timeline = true`); `vms` is the
+/// run's VM population (same specs, same order). Fans the per-VM replays
+/// out over `threads` workers (0 = one per available core); the merged
+/// report is bit-identical for any thread count.
+pub fn replay(
+    vms: &[VmSpec],
+    outcome: &DcOutcome,
+    cfg: &QosConfig,
+    seed: u64,
+    threads: usize,
+) -> QosReport {
+    assert!(
+        !outcome.timelines.is_empty() || vms.is_empty(),
+        "QoS replay needs power timelines: run with DcConfig::track_power_timeline = true"
+    );
+    let residency = residencies(&outcome.placements, vms.len());
+    let n = vms.len();
+    let workers = if threads == 0 {
+        dds_core::sweep::auto_threads(n)
+    } else {
+        threads.min(n.max(1))
+    };
+    let next = AtomicUsize::new(0);
+    let shards: Mutex<Vec<Option<QosReport>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let shard = replay_vm(
+                    &vms[i],
+                    &residency[i],
+                    &outcome.timelines,
+                    cfg,
+                    seed,
+                    outcome.hours,
+                );
+                shards
+                    .lock()
+                    .expect("replay invariant: no worker panics while holding the shard lock")[i] =
+                    Some(shard);
+            });
+        }
+    });
+    let mut report = QosReport::new(cfg.profile.sla.as_millis());
+    for shard in shards
+        .into_inner()
+        .expect("replay invariant: all workers joined before the scope ends")
+    {
+        report.merge(&shard.expect("replay invariant: every VM index was claimed exactly once"));
+    }
+    report
+}
+
+/// Runs one cluster point with timeline tracking forced on and replays
+/// its request streams: the one-call power **and** QoS evaluation.
+/// Returns the energy outcome and the merged QoS report.
+///
+/// The policy name resolves in the standard [`PolicyRegistry`]; the
+/// replay's noise gate comes from the spec's idleness-model threshold.
+/// The run's resume path follows the profile: a stock-resume profile
+/// (`resume_latency` at or above the host model's normal resume) runs
+/// the fleet at `WakeSpeed::Normal`, so the recorded wake windows match
+/// the latency the profile advertises.
+pub fn run_cluster_qos(
+    spec: &ClusterSpec,
+    policy: &str,
+    seed: u64,
+    profile: &RequestProfile,
+    threads: usize,
+) -> (ClusterOutcome, QosReport) {
+    let mut spec = spec.clone();
+    spec.config.track_power_timeline = true;
+    spec.config.sla = profile.sla;
+    // Keep the simulation's own first-packet wake model at the replayed
+    // client's rate, so packet-wake offsets are consistent.
+    spec.config.request_peak_rps = profile.peak_rps;
+    spec.config.request_service =
+        dds_sim_core::SimDuration::from_millis(profile.mean_service_ms as u64);
+    spec.config.wake_speed = if profile.resume_latency >= spec.config.power.timings.resume_normal {
+        dds_power::WakeSpeed::Normal
+    } else {
+        dds_power::WakeSpeed::Quick
+    };
+    let registry = PolicyRegistry::standard();
+    let outcome = dds_core::cluster::run_cluster_policy_with(&registry, &spec, policy, seed);
+    let cfg = QosConfig {
+        profile: profile.clone(),
+        noise: spec.config.im.noise_threshold,
+    };
+    let vms = spec.vm_specs(seed);
+    let report = replay(&vms, &outcome.dc, &cfg, seed, threads);
+    (outcome, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::datacenter::{Algorithm, Datacenter, DcConfig};
+    use dds_core::spec::HostSpec;
+    use dds_sim_core::{HostId, VmId};
+    use dds_traces::{TracePattern, VmTrace};
+
+    fn bursty(hours: usize, seed: u64) -> VmTrace {
+        TracePattern::RandomBursts {
+            duty: 0.2,
+            intensity: 0.6,
+        }
+        .generate(hours, &mut SimRng::new(seed))
+    }
+
+    fn run_small(
+        algorithm: Algorithm,
+        traces: Vec<VmTrace>,
+        hours: u64,
+    ) -> (Vec<VmSpec>, DcOutcome) {
+        let hosts = vec![
+            HostSpec::testbed_machine(HostId(0), "P0"),
+            HostSpec::testbed_machine(HostId(1), "P1"),
+        ];
+        let vms: Vec<VmSpec> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                VmSpec::testbed_flavor(
+                    VmId(i as u32),
+                    format!("V{i}"),
+                    t,
+                    WorkloadKind::Interactive,
+                )
+            })
+            .collect();
+        let placement: Vec<HostId> = (0..vms.len()).map(|i| HostId((i % 2) as u32)).collect();
+        let mut cfg = DcConfig::paper_default();
+        cfg.track_power_timeline = true;
+        let mut dc = Datacenter::new(cfg, algorithm, hosts, vms.clone(), placement, None, 7);
+        dc.run(hours);
+        (vms, dc.finish())
+    }
+
+    #[test]
+    fn always_on_fleet_sees_no_wake_hits() {
+        let hours = 48;
+        let (vms, out) = run_small(
+            Algorithm::NeatNoSuspend,
+            vec![bursty(48, 1), bursty(48, 2)],
+            hours,
+        );
+        let cfg = QosConfig::paper_default();
+        let report = replay(&vms, &out, &cfg, 7, 1);
+        assert!(report.total > 1000, "requests flowed: {}", report.total);
+        assert_eq!(report.wake_hits, 0, "always-on hosts never park");
+        assert_eq!(report.wake_violations, 0);
+        assert_eq!(report.unserved, 0);
+        assert!(
+            report.sla_attainment() > 0.99,
+            "awake fleet meets the paper's SLA: {}",
+            report.sla_attainment()
+        );
+    }
+
+    #[test]
+    fn drowsy_fleet_charges_wakes_at_the_resume_latency() {
+        let hours = 96;
+        let (vms, out) = run_small(
+            Algorithm::DrowsyDc,
+            vec![bursty(96, 1), bursty(96, 2)],
+            hours,
+        );
+        assert!(
+            out.timelines
+                .iter()
+                .any(|tl| !tl.time_in(|s| s.is_low_power()).is_zero()),
+            "the run parks hosts"
+        );
+        let cfg = QosConfig::paper_default();
+        let report = replay(&vms, &out, &cfg, 7, 1);
+        assert!(report.wake_hits > 0, "parked hosts produce wake hits");
+        // The worst wake-hit latency is at least the quick-resume
+        // latency (the trigger pays the full resume + service) and
+        // bounded by resume + the FCFS drain behind it.
+        assert!(
+            report.worst_wake_ms >= 800,
+            "trigger pays the resume: {}",
+            report.worst_wake_ms
+        );
+        assert!(report.wake_violations > 0, "wake latencies breach 200 ms");
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_thread_counts() {
+        let hours = 72;
+        let (vms, out) = run_small(
+            Algorithm::DrowsyDc,
+            vec![bursty(72, 1), bursty(72, 2), bursty(72, 3), bursty(72, 4)],
+            hours,
+        );
+        let cfg = QosConfig::paper_default();
+        let serial = replay(&vms, &out, &cfg, 7, 1);
+        let parallel = replay(&vms, &out, &cfg, 7, 4);
+        let auto = replay(&vms, &out, &cfg, 7, 0);
+        assert_eq!(serial, parallel, "1-vs-N thread reports are identical");
+        assert_eq!(serial, auto);
+        assert!(serial.total > 0);
+    }
+
+    #[test]
+    fn run_cluster_qos_wires_tracking_and_replay_together() {
+        let mut spec = ClusterSpec::paper_default(0.75);
+        spec.hosts = 4;
+        spec.vms = 12;
+        spec.days = 2;
+        let profile = RequestProfile {
+            peak_rps: 1.0,
+            ..RequestProfile::web_search_quick_resume()
+        };
+        let (outcome, report) = run_cluster_qos(&spec, "drowsy-dc", 11, &profile, 0);
+        assert!(outcome.energy_kwh() > 0.0);
+        assert_eq!(outcome.dc.timelines.len(), 4);
+        assert!(report.total > 0, "LLMI mix produces interactive requests");
+        // Determinism end to end.
+        let (_, again) = run_cluster_qos(&spec, "drowsy-dc", 11, &profile, 2);
+        assert_eq!(report, again);
+        // A stock-resume profile flips the run onto the slow wake path:
+        // every resume window recorded in the timelines is the ≈1500 ms
+        // stock latency (Drowsy-DC parks in S3 only), where the quick
+        // profile's run resumed in ≈800 ms.
+        let resume_spans = |outcome: &ClusterOutcome| -> Vec<u64> {
+            outcome
+                .dc
+                .timelines
+                .iter()
+                .flat_map(|tl| tl.intervals())
+                .filter(|iv| iv.state == dds_power::PowerState::Resuming)
+                .map(|iv| iv.duration().as_millis())
+                .collect()
+        };
+        let quick_spans = resume_spans(&outcome);
+        assert!(!quick_spans.is_empty(), "the run woke hosts");
+        assert!(quick_spans.iter().all(|&ms| ms == 800), "{quick_spans:?}");
+        let stock = RequestProfile {
+            peak_rps: 1.0,
+            ..RequestProfile::web_search()
+        };
+        let (stock_outcome, _) = run_cluster_qos(&spec, "drowsy-dc", 11, &stock, 0);
+        let stock_spans = resume_spans(&stock_outcome);
+        assert!(!stock_spans.is_empty(), "the stock run woke hosts");
+        assert!(stock_spans.iter().all(|&ms| ms == 1500), "{stock_spans:?}");
+    }
+}

@@ -1,10 +1,11 @@
 //! The built-in scenario catalog.
 //!
-//! Ten ready-to-run scenarios covering the workload classes the paper
+//! Eleven ready-to-run scenarios covering the workload classes the paper
 //! motivates (office diurnality, flash crowds, batch queues,
-//! weekend-heavy leisure, the synthetic Nutanix production mix) and the
+//! weekend-heavy leisure, the synthetic Nutanix production mix), the
 //! fleet shapes it cannot exercise on a uniform testbed (heterogeneous
-//! performance/efficiency classes, slow-wake machines). Each entry is
+//! performance/efficiency classes, slow-wake machines) and the
+//! request-level SLA evaluation (`sla-web-front`). Each entry is
 //! stored as scenario *text* — the same format users write — and parsed
 //! on access, so the catalog doubles as living documentation of the
 //! format and as the round-trip corpus of the parser tests.
@@ -319,6 +320,37 @@ hour = 2
 ",
     },
     CatalogEntry {
+        name: "sla-web-front",
+        text: "\
+[scenario]
+name = sla-web-front
+summary = Bursty web frontends with a request-level SLA; the power-vs-tail-latency Pareto
+days = 7
+seed = 42
+policies = drowsy-dc, neat-s3, neat
+
+[qos]
+peak-rps = 0.1
+mean-service-ms = 60
+std-service-ms = 30
+sla-ms = 200
+wake = quick
+
+[fleet.front]
+count = 12
+cores = 16
+ram-mb = 16384
+
+[workload.search]
+pattern = random-bursts
+count = 24
+vcpus = 2
+ram-mb = 6144
+duty = 0.1
+intensity = 0.6
+",
+    },
+    CatalogEntry {
         name: "idle-fleet",
         text: "\
 [scenario]
@@ -450,6 +482,10 @@ mod tests {
                 .any(|s| s.mode == crate::FidelityMode::HighFidelity),
             "a high-fidelity scenario exists"
         );
+        let sla = find("sla-web-front").expect("the SLA scenario ships");
+        let qos = sla.qos.as_ref().expect("it carries a [qos] section");
+        assert_eq!(qos.profile.sla.as_millis(), 200, "the paper's threshold");
+        assert_eq!(qos.wake_key(), "quick");
         assert!(find("office-park").is_some());
         assert!(find("no-such-scenario").is_none());
     }

@@ -13,13 +13,18 @@
 //!   diurnal-office, flash-crowd, batch-queue and weekend-heavy
 //!   generators) or a synthetic Nutanix personality;
 //! * the **engine fidelity** (`mode = legacy | high-fidelity`) and the
-//!   **policy set** to sweep (policy-registry names).
+//!   **policy set** to sweep (policy-registry names);
+//! * optionally a **request-level QoS workload** (`[qos]`) — the
+//!   paper's web-search client attached to every interactive VM, so
+//!   [`run_scenario_qos`] pairs each policy's energy outcome with a
+//!   [`QosReport`](dds_qos::QosReport) of tail latencies and SLA
+//!   attainment.
 //!
 //! [`Scenario::parse`] validates with **line-numbered errors**;
 //! [`Scenario::to_cluster_spec`] compiles onto the existing
 //! `ClusterSpec`/`run_sweep` machinery, so scenarios inherit the
 //! parallel fan-out and its bit-exact determinism. A built-in
-//! [`mod@catalog`] of ten scenarios ships with the crate and the
+//! [`mod@catalog`] of eleven scenarios ships with the crate and the
 //! `scenarios` binary (`dds-bench`) lists and runs them.
 //!
 //! ## Example
@@ -69,5 +74,5 @@ pub mod scenario;
 
 pub use catalog::{catalog, find, CatalogEntry, CATALOG};
 pub use format::{RawDoc, RawEntry, RawSection, ScenarioError};
-pub use run::{run_scenario, run_scenario_with};
-pub use scenario::{FidelityMode, HostClass, Scenario, WorkloadGroup};
+pub use run::{run_scenario, run_scenario_qos, run_scenario_qos_with, run_scenario_with};
+pub use scenario::{FidelityMode, HostClass, QosSpec, Scenario, WorkloadGroup};

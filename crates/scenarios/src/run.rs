@@ -3,6 +3,8 @@
 use crate::scenario::Scenario;
 use dds_core::registry::PolicyRegistry;
 use dds_core::sweep::{run_sweep_with, SweepOutcome};
+use dds_qos::{replay, QosConfig, QosReport};
+use dds_traces::RequestProfile;
 
 /// Runs a scenario's full policy sweep against the standard registry,
 /// fanning out over `threads` workers (0 = one per available core).
@@ -25,6 +27,72 @@ pub fn run_scenario_with(
     threads: usize,
 ) -> Vec<SweepOutcome> {
     run_sweep_with(registry, &scenario.sweep_points(seed), threads)
+}
+
+/// Runs a scenario's policy sweep **with request-level QoS**: each
+/// policy's outcome comes back paired with the [`QosReport`] of replaying
+/// the scenario's `[qos]` request workload against that run's power
+/// timelines. Scenarios without a `[qos]` section use the paper's
+/// quick-resume web-search profile.
+///
+/// Timeline tracking is forced on for every point (a `[qos]` section
+/// already sets it; this makes the call total). Reports are bit-identical
+/// for any `threads` value, like the sweep itself.
+pub fn run_scenario_qos(
+    scenario: &Scenario,
+    seed: Option<u64>,
+    threads: usize,
+) -> Vec<(SweepOutcome, QosReport)> {
+    run_scenario_qos_with(&PolicyRegistry::standard(), scenario, seed, threads)
+}
+
+/// Like [`run_scenario_qos`], with policy names resolved in a custom
+/// registry.
+pub fn run_scenario_qos_with(
+    registry: &PolicyRegistry,
+    scenario: &Scenario,
+    seed: Option<u64>,
+    threads: usize,
+) -> Vec<(SweepOutcome, QosReport)> {
+    let seed = seed.unwrap_or(scenario.seed);
+    let profile = scenario
+        .qos
+        .as_ref()
+        .map(|q| q.profile.clone())
+        .unwrap_or_else(RequestProfile::web_search_quick_resume);
+    let mut points = scenario.sweep_points(Some(seed));
+    for p in &mut points {
+        // A [qos] section already configured all of this through
+        // to_cluster_spec; syncing here too makes the no-[qos] fallback
+        // consistent — the run's first-packet wake model, SLA and wake
+        // path always match the replayed client.
+        p.spec.config.track_power_timeline = true;
+        p.spec.config.sla = profile.sla;
+        p.spec.config.request_peak_rps = profile.peak_rps;
+        p.spec.config.request_service =
+            dds_sim_core::SimDuration::from_millis(profile.mean_service_ms as u64);
+        if let Some(qos) = &scenario.qos {
+            p.spec.config.wake_speed = qos.wake;
+        }
+    }
+    let outcomes = run_sweep_with(registry, &points, threads);
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    let cfg = QosConfig {
+        profile,
+        noise: first.spec.config.im.noise_threshold,
+    };
+    // All points share the spec and seed, so the VM population (traces
+    // included) is generated once and replayed against every policy.
+    let vms = first.spec.vm_specs(seed);
+    outcomes
+        .into_iter()
+        .map(|out| {
+            let report = replay(&vms, &out.outcome.dc, &cfg, seed, threads);
+            (out, report)
+        })
+        .collect()
 }
 
 #[cfg(test)]

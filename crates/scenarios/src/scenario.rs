@@ -17,10 +17,10 @@ use dds_core::datacenter::{DcConfig, EngineConfig};
 use dds_core::registry::PolicyRegistry;
 use dds_core::spec::{HostSpec, VmMemberSpec, WorkloadKind};
 use dds_core::sweep::SweepPoint;
-use dds_power::HostPowerModel;
+use dds_power::{HostPowerModel, WakeSpeed};
 use dds_sim_core::{HostId, SimDuration};
 use dds_traces::nutanix::PERSONALITIES;
-use dds_traces::{TracePattern, VmWorkload};
+use dds_traces::{RequestProfile, TracePattern, VmWorkload};
 
 /// Engine fidelity a scenario runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +87,32 @@ pub struct WorkloadGroup {
     pub workload: VmWorkload,
 }
 
+/// The optional `[qos]` section: a request-level workload attached to
+/// the scenario's interactive VMs, evaluated by the `dds-qos` replay.
+/// Its presence turns power-timeline tracking on for every run of the
+/// scenario, so energy results come back with a
+/// [`QosReport`](dds_qos::QosReport) beside them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosSpec {
+    /// The client profile replayed against every interactive VM.
+    pub profile: RequestProfile,
+    /// Resume path the fleet runs (`wake = quick | stock`): Drowsy-DC's
+    /// ≈800 ms quick resume or the ≈1500 ms stock kernel path. Sets the
+    /// run's `DcConfig::wake_speed` and the profile's expected
+    /// `resume_latency`.
+    pub wake: WakeSpeed,
+}
+
+impl QosSpec {
+    /// The key of this wake speed in scenario files.
+    pub fn wake_key(&self) -> &'static str {
+        match self.wake {
+            WakeSpeed::Quick => "quick",
+            WakeSpeed::Normal => "stock",
+        }
+    }
+}
+
 /// A complete, validated scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -108,6 +134,8 @@ pub struct Scenario {
     pub fleet: Vec<HostClass>,
     /// The workload mix.
     pub workloads: Vec<WorkloadGroup>,
+    /// Request-level QoS workload (`[qos]` section), when present.
+    pub qos: Option<QosSpec>,
 }
 
 // ---------------------------------------------------------------------
@@ -436,6 +464,63 @@ const FLEET_KEYS: &[&str] = &[
     "resume-normal-ms",
 ];
 
+const QOS_KEYS: &[&str] = &[
+    "peak-rps",
+    "mean-service-ms",
+    "std-service-ms",
+    "sla-ms",
+    "wake",
+];
+
+fn build_qos(s: &RawSection) -> Result<QosSpec, ScenarioError> {
+    check_keys(s, QOS_KEYS)?;
+    let wake = opt(s, "wake", WakeSpeed::Quick, |e| match e.value.as_str() {
+        "quick" => Ok(WakeSpeed::Quick),
+        "stock" => Ok(WakeSpeed::Normal),
+        other => Err(ScenarioError::at(
+            e.line,
+            format!("'wake' must be quick or stock, got '{other}'"),
+        )),
+    })?;
+    let base = match wake {
+        WakeSpeed::Quick => RequestProfile::web_search_quick_resume(),
+        WakeSpeed::Normal => RequestProfile::web_search(),
+    };
+    let positive_ms = |e: &RawEntry| {
+        let v = f64_of(e)?;
+        if v <= 0.0 {
+            return Err(ScenarioError::at(
+                e.line,
+                format!("'{}' must be positive", e.key),
+            ));
+        }
+        Ok(v)
+    };
+    let profile = RequestProfile {
+        peak_rps: opt(s, "peak-rps", base.peak_rps, positive_ms)?,
+        mean_service_ms: opt(s, "mean-service-ms", base.mean_service_ms, positive_ms)?,
+        std_service_ms: opt(s, "std-service-ms", base.std_service_ms, |e| {
+            let v = f64_of(e)?;
+            if v < 0.0 {
+                return Err(ScenarioError::at(
+                    e.line,
+                    "'std-service-ms' must be non-negative".to_string(),
+                ));
+            }
+            Ok(v)
+        })?,
+        sla: opt(s, "sla-ms", base.sla, |e| {
+            let v = u64_of(e)?;
+            if v == 0 {
+                return Err(ScenarioError::at(e.line, "'sla-ms' must be positive"));
+            }
+            Ok(SimDuration::from_millis(v))
+        })?,
+        resume_latency: base.resume_latency,
+    };
+    Ok(QosSpec { profile, wake })
+}
+
 const POWER_KEYS: &[&str] = &[
     "idle-watts",
     "peak-watts",
@@ -568,24 +653,25 @@ impl Scenario {
     ) -> Result<Scenario, ScenarioError> {
         let doc = RawDoc::parse(text)?;
         for s in &doc.sections {
-            if !matches!(s.kind.as_str(), "scenario" | "fleet" | "workload") {
+            if !matches!(s.kind.as_str(), "scenario" | "fleet" | "workload" | "qos") {
                 return Err(ScenarioError::at(
                     s.line,
                     format!(
-                        "unknown section '[{}]' (expected [scenario], [fleet.<class>] \
-                         or [workload.<group>])",
+                        "unknown section '[{}]' (expected [scenario], [fleet.<class>], \
+                         [workload.<group>] or [qos])",
                         s.header()
                     ),
                 ));
             }
-            // '[scenario.<x>]' would otherwise be a silently ignored way
-            // to misspell the head section; the raw layer already rejects
-            // a duplicate bare '[scenario]'.
-            if s.kind == "scenario" && !s.name.is_empty() {
+            // '[scenario.<x>]' / '[qos.<x>]' would otherwise be silently
+            // ignored ways to misspell the head sections; the raw layer
+            // already rejects duplicates of the bare forms.
+            if matches!(s.kind.as_str(), "scenario" | "qos") && !s.name.is_empty() {
                 return Err(ScenarioError::at(
                     s.line,
                     format!(
-                        "the [scenario] section takes no name (got '[{}]')",
+                        "the [{}] section takes no name (got '[{}]')",
+                        s.kind,
                         s.header()
                     ),
                 ));
@@ -670,6 +756,7 @@ impl Scenario {
                 "scenario needs at least one [fleet.<class>] section",
             ));
         }
+        let qos = doc.sections_of("qos").next().map(build_qos).transpose()?;
         let workloads: Vec<WorkloadGroup> = doc
             .sections_of("workload")
             .map(build_workload_group)
@@ -754,6 +841,7 @@ impl Scenario {
             policies,
             fleet,
             workloads,
+            qos,
         })
     }
 
@@ -776,6 +864,18 @@ impl Scenario {
         config.track_colocation = false; // O(vms²·hours); scenarios are fleet-scale
         config.track_sla = true;
         config.relocation_period_hours = self.relocation_hours;
+        if let Some(qos) = &self.qos {
+            // The QoS replay needs the run's power timelines; the wake
+            // path and SLA threshold follow the [qos] section. The
+            // simulation's own first-packet wake model runs at the same
+            // request rate as the replayed client, so packet-wake offsets
+            // are consistent between the run and the replay.
+            config.track_power_timeline = true;
+            config.wake_speed = qos.wake;
+            config.sla = qos.profile.sla;
+            config.request_peak_rps = qos.profile.peak_rps;
+            config.request_service = SimDuration::from_millis(qos.profile.mean_service_ms as u64);
+        }
         let fleet: Vec<HostSpec> = self
             .fleet
             .iter()
@@ -837,6 +937,20 @@ impl Scenario {
         out.push_str(&format!("mode = {}\n", self.mode.key()));
         out.push_str(&format!("relocation-hours = {}\n", self.relocation_hours));
         out.push_str(&format!("policies = {}\n", self.policies.join(", ")));
+        if let Some(qos) = &self.qos {
+            out.push_str("\n[qos]\n");
+            out.push_str(&format!("peak-rps = {}\n", qos.profile.peak_rps));
+            out.push_str(&format!(
+                "mean-service-ms = {}\n",
+                qos.profile.mean_service_ms
+            ));
+            out.push_str(&format!(
+                "std-service-ms = {}\n",
+                qos.profile.std_service_ms
+            ));
+            out.push_str(&format!("sla-ms = {}\n", qos.profile.sla.as_millis()));
+            out.push_str(&format!("wake = {}\n", qos.wake_key()));
+        }
         for class in &self.fleet {
             out.push_str(&format!("\n[fleet.{}]\n", class.name));
             out.push_str(&format!("count = {}\n", class.count));
@@ -1191,11 +1305,73 @@ ram-mb = 6144
     }
 
     #[test]
-    fn render_round_trips() {
+    fn qos_section_parses_with_defaults_and_overrides() {
+        let s = Scenario::parse(MINIMAL).unwrap();
+        assert!(s.qos.is_none(), "no [qos] section → no request workload");
+        let spec = s.to_cluster_spec();
+        assert!(!spec.config.track_power_timeline);
+
         let text = MINIMAL.replace(
-            "ram-mb = 16384\n",
-            "ram-mb = 16384\nsuspended-watts = 2.5\n",
+            "[fleet.box]",
+            "[qos]\npeak-rps = 2.5\nsla-ms = 150\nwake = stock\n\n[fleet.box]",
         );
+        let s = Scenario::parse(&text).unwrap();
+        let qos = s.qos.as_ref().expect("section parsed");
+        assert_eq!(qos.profile.peak_rps, 2.5);
+        assert_eq!(qos.profile.sla, SimDuration::from_millis(150));
+        assert_eq!(qos.profile.mean_service_ms, 60.0, "unset keys default");
+        assert_eq!(qos.wake, WakeSpeed::Normal);
+        assert_eq!(
+            qos.profile.resume_latency,
+            SimDuration::from_millis(1500),
+            "stock wake pairs with the stock resume expectation"
+        );
+        // Compilation forces timeline tracking and carries the wake path.
+        let spec = s.to_cluster_spec();
+        assert!(spec.config.track_power_timeline);
+        assert_eq!(spec.config.wake_speed, WakeSpeed::Normal);
+        assert_eq!(spec.config.sla, SimDuration::from_millis(150));
+    }
+
+    #[test]
+    fn bad_qos_keys_are_rejected_with_their_line() {
+        // Unknown key inside [qos]: its own line (the section header
+        // lands on line 7 of MINIMAL, the key on line 8).
+        let with_qos =
+            |body: &str| MINIMAL.replace("\n[fleet.box]", &format!("\n[qos]\n{body}\n[fleet.box]"));
+        expect_err(&with_qos("latency-budget = 9\n"), 8, "unknown key");
+        expect_err(
+            &with_qos("wake = warp\n"),
+            8,
+            "'wake' must be quick or stock",
+        );
+        expect_err(
+            &with_qos("peak-rps = 0\n"),
+            8,
+            "'peak-rps' must be positive",
+        );
+        expect_err(&with_qos("sla-ms = 0\n"), 8, "'sla-ms' must be positive");
+        expect_err(
+            &with_qos("std-service-ms = -1\n"),
+            8,
+            "'std-service-ms' must be non-negative",
+        );
+        // A named [qos.x] section is a misspelling.
+        expect_err(
+            &with_qos("").replace("[qos]", "[qos.web]"),
+            7,
+            "takes no name",
+        );
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let text = MINIMAL
+            .replace(
+                "ram-mb = 16384\n",
+                "ram-mb = 16384\nsuspended-watts = 2.5\n",
+            )
+            .replace("[fleet.box]", "[qos]\npeak-rps = 3\n\n[fleet.box]");
         let s = Scenario::parse(&text).unwrap();
         let rendered = s.render();
         let back = Scenario::parse(&rendered).unwrap();

@@ -24,24 +24,50 @@ pub struct RequestProfile {
     pub std_service_ms: f64,
     /// The SLA threshold the experiment reports against.
     pub sla: SimDuration,
+    /// Resume latency a wake-triggering request pays on this testbed
+    /// (≈1500 ms stock kernel, ≈800 ms with the paper's quick-resume
+    /// work). The QoS replay reads the *actual* latency from the host's
+    /// power timeline; this figure is the profile's expectation, used to
+    /// label reports and pick the matching `WakeSpeed` in scenario files.
+    pub resume_latency: SimDuration,
 }
 
 impl RequestProfile {
-    /// Web-search-like profile matching the paper's SLA setup.
+    /// Web-search-like profile matching the paper's SLA setup, on the
+    /// stock kernel resume path (≈1500 ms for a wake-triggering request).
     pub fn web_search() -> Self {
         RequestProfile {
             peak_rps: 20.0,
             mean_service_ms: 60.0,
             std_service_ms: 30.0,
             sla: SimDuration::from_millis(200),
+            resume_latency: SimDuration::from_millis(1500),
         }
     }
 
-    /// Samples one service time.
+    /// The same client profile on Drowsy-DC's quick-resume path: a
+    /// wake-triggering request pays ≈800 ms (§VI.A.3).
+    pub fn web_search_quick_resume() -> Self {
+        RequestProfile {
+            resume_latency: SimDuration::from_millis(800),
+            ..Self::web_search()
+        }
+    }
+
+    /// Upper clamp of the service-time sampler: four means plus four
+    /// standard deviations, never below the 1 ms lower clamp (degenerate
+    /// sub-millisecond profiles would otherwise invert the clamp range
+    /// and panic).
+    pub fn service_ceiling_ms(&self) -> f64 {
+        (self.mean_service_ms * 4.0 + 4.0 * self.std_service_ms).max(1.0)
+    }
+
+    /// Samples one service time, clamped into
+    /// `[1 ms, service_ceiling_ms]`.
     pub fn sample_service(&self, rng: &mut SimRng) -> SimDuration {
         let ms = rng
             .normal(self.mean_service_ms, self.std_service_ms)
-            .clamp(1.0, self.mean_service_ms * 4.0 + 4.0 * self.std_service_ms);
+            .clamp(1.0, self.service_ceiling_ms());
         SimDuration::from_millis(ms.round() as u64)
     }
 }
@@ -96,8 +122,7 @@ impl RequestGenerator {
 
     /// Samples a service time for one request.
     pub fn sample_service(&mut self) -> SimDuration {
-        let profile = self.profile.clone();
-        profile.sample_service(&mut self.rng)
+        self.profile.sample_service(&mut self.rng)
     }
 }
 
@@ -175,5 +200,66 @@ mod tests {
         let mut a = RequestGenerator::new(t.clone(), RequestProfile::web_search(), SimRng::new(1));
         let mut b = RequestGenerator::new(t, RequestProfile::web_search(), SimRng::new(1));
         assert_eq!(a.arrivals_in_hour(0), b.arrivals_in_hour(0));
+    }
+
+    #[test]
+    fn per_vm_streams_replay_and_decorrelate() {
+        // The QoS replay derives one stream per VM from the master seed;
+        // the same (seed, vm) pair must replay bit-identically and
+        // different VMs must see different request processes.
+        let t = VmTrace::new("t", vec![0.5; 24]);
+        let stream = |vm: u64| {
+            let rng = SimRng::new(42).stream_indexed("qos-requests", vm);
+            let mut g = RequestGenerator::new(t.clone(), RequestProfile::web_search(), rng);
+            let arrivals = g.arrivals_in_hour(3);
+            let services: Vec<SimDuration> = (0..8).map(|_| g.sample_service()).collect();
+            (arrivals, services)
+        };
+        assert_eq!(stream(0), stream(0), "same VM stream replays");
+        assert_ne!(stream(0), stream(1), "VM streams decorrelate");
+    }
+
+    #[test]
+    fn quick_resume_profile_matches_the_paper() {
+        let stock = RequestProfile::web_search();
+        let quick = RequestProfile::web_search_quick_resume();
+        assert_eq!(stock.resume_latency, SimDuration::from_millis(1500));
+        assert_eq!(quick.resume_latency, SimDuration::from_millis(800));
+        // Only the resume path differs; the client load is identical.
+        assert_eq!(stock.peak_rps, quick.peak_rps);
+        assert_eq!(stock.mean_service_ms, quick.mean_service_ms);
+        assert_eq!(stock.std_service_ms, quick.std_service_ms);
+        assert_eq!(stock.sla, quick.sla);
+    }
+
+    #[test]
+    fn service_clamp_bounds_are_pinned() {
+        // The ceiling is 4·mean + 4·σ …
+        let p = RequestProfile::web_search();
+        assert_eq!(p.service_ceiling_ms(), 360.0);
+        let mut rng = SimRng::new(5);
+        for _ in 0..5_000 {
+            let s = p.sample_service(&mut rng);
+            assert!(s.as_millis() >= 1 && s.as_millis() <= 360);
+        }
+        // … and never inverts below the 1 ms floor: a degenerate
+        // sub-millisecond profile must sample (at the floor), not panic.
+        let tiny = RequestProfile {
+            peak_rps: 1.0,
+            mean_service_ms: 0.1,
+            std_service_ms: 0.0,
+            sla: SimDuration::from_millis(200),
+            resume_latency: SimDuration::from_millis(800),
+        };
+        assert_eq!(tiny.service_ceiling_ms(), 1.0);
+        for _ in 0..100 {
+            assert_eq!(tiny.sample_service(&mut rng), SimDuration::from_millis(1));
+        }
+        // Zero variance samples exactly the mean.
+        let flat = RequestProfile {
+            std_service_ms: 0.0,
+            ..RequestProfile::web_search()
+        };
+        assert_eq!(flat.sample_service(&mut rng), SimDuration::from_millis(60));
     }
 }

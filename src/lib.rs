@@ -14,8 +14,11 @@
 //! * [`placement`] — Nova-style scheduler, Neat, Oasis and Drowsy-DC
 //!   placement algorithms.
 //! * [`system`] — the integrated datacenter model and controllers.
+//! * [`qos`] — request-level QoS: per-request latency replay against the
+//!   run's power timelines, tail percentiles and SLA accounting.
 //! * [`scenarios`] — the declarative scenario catalog: fleet + workload
-//!   mix + engine + policies in a text format, run through the sweep.
+//!   mix + engine + policies (+ an optional `[qos]` request workload) in
+//!   a text format, run through the sweep.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use dds_idleness as idleness;
 pub use dds_net as net;
 pub use dds_placement as placement;
 pub use dds_power as power;
+pub use dds_qos as qos;
 pub use dds_scenarios as scenarios;
 pub use dds_sim_core as sim;
 pub use dds_traces as traces;
@@ -57,8 +61,9 @@ pub mod prelude {
     pub use dds_idleness::{IdlenessModel, ImConfig};
     pub use dds_placement::policy::{ControlPlan, ControlPolicy, PlanningView, SleepDepth};
     pub use dds_placement::{SleepScaleConfig, SleepScalePolicy};
-    pub use dds_power::{HostPowerModel, PowerState};
-    pub use dds_scenarios::{run_scenario, Scenario, ScenarioError};
+    pub use dds_power::{HostPowerModel, PowerState, PowerTimeline};
+    pub use dds_qos::{run_cluster_qos, QosConfig, QosReport};
+    pub use dds_scenarios::{run_scenario, run_scenario_qos, Scenario, ScenarioError};
     pub use dds_sim_core::{HostId, SimDuration, SimEngine, SimTime, VmId};
     pub use dds_traces::{TracePattern, VmTrace};
 }
