@@ -51,6 +51,10 @@ fn main() {
         spec.vms = 64;
         spec.days = 7;
     }
+    // The shared fleet-size knob scales hosts and the proportional VM
+    // population together (4 VMs per host, as in the defaults).
+    spec.hosts = opts.hosts_or(spec.hosts);
+    spec.vms = spec.hosts * 4;
     let hours = spec.days * 24;
     let policies = opts.policies_or(&["drowsy-dc", "neat-s3", "sleepscale"]);
 

@@ -19,7 +19,8 @@
 //!
 //! Shared flags: `--seed N`, `--threads N` (0 = auto; reports are
 //! bit-identical for any value — the `qos-smoke` CI job diffs serial vs
-//! parallel runs), `--policies a,b,c`, `--out DIR`, `--json`.
+//! parallel runs), `--hosts N` (rescale the scenario fleet),
+//! `--policies a,b,c`, `--out DIR`, `--json`.
 
 use dds_bench::{pct1, ExpOptions, JsonObject};
 use dds_power::WakeSpeed;
@@ -143,6 +144,10 @@ fn main() -> ExitCode {
     if opts.quick && scenario.days > 2 {
         scenario.days = 2;
         println!("(quick: days capped at 2)");
+    }
+    if let Some(hosts) = opts.hosts {
+        scenario.scale_to_hosts(hosts);
+        println!("(--hosts: fleet rescaled to {hosts} machines)");
     }
     let base_qos = scenario.qos.clone();
     println!(

@@ -14,9 +14,22 @@
 //! (`dds_core::sweep::run_sweep`), reporting the wall-clock speedup —
 //! the sweep is embarrassingly parallel, so it should approach the core
 //! count on idle machines.
+//!
+//! A third section sweeps the **hyperscale fleet engine**
+//! (`dds_core::fleet`): fleet size (1k → 100k hosts, 10 VMs per host up
+//! to 1M) × shard count, reporting host-hours simulated per wall-second.
+//! The binary asserts in-process that every shard count reproduces the
+//! 1-shard digest bit-for-bit (exit non-zero on divergence) and measures
+//! the control-epoch speedup of the incremental capacity index over the
+//! reference linear-scan placement. `fleet_outcomes.csv` carries only the
+//! deterministic columns, so CI byte-diffs a `--threads 1` run against a
+//! `--threads N` run. Shared flags: `--quick`, `--seed N`, `--threads N`
+//! (shard counts to sweep; 0 = auto), `--hosts N` (single fleet size
+//! instead of the sweep), `--out DIR`, `--json`.
 
 use dds_bench::{ExpOptions, JsonObject};
 use dds_core::cluster::ClusterSpec;
+use dds_core::fleet::{run_fleet, FleetConfig, FleetOutcome, PlacementMode};
 use dds_core::sweep::{auto_threads, llmi_grid, run_sweep};
 use dds_placement::{
     ClusterState, DrowsyConfig, DrowsyPlanner, HistoryBook, HostState, MultiplexPlanner, VmState,
@@ -175,6 +188,142 @@ fn main() {
     ]);
     println!("{}", sweep_table.render());
     println!("(bit-identical outcomes in both modes; speedup tracks available cores)");
+
+    // --- hyperscale fleet engine: fleet size × shard count.
+    let fleet_sizes: Vec<usize> = match opts.hosts {
+        Some(n) => vec![n],
+        None if opts.quick => vec![1_000, 4_000],
+        None => vec![1_000, 10_000, 100_000],
+    };
+    let horizon: u64 = if opts.quick { 24 } else { 168 };
+    let max_shards = if opts.threads == 0 {
+        auto_threads(usize::MAX)
+    } else {
+        opts.threads
+    };
+    let mut shard_counts = vec![1];
+    if max_shards > 1 {
+        shard_counts.push(max_shards);
+    }
+    println!("\nhyperscale fleet engine ({horizon} h horizon, shard counts {shard_counts:?})\n");
+    let fleet_cfg = |hosts: usize, shards: usize, placement: PlacementMode| FleetConfig {
+        hosts,
+        vms: (hosts * 10).min(1_000_000),
+        horizon_hours: horizon,
+        shards,
+        seed: opts.seed,
+        churn_per_epoch: (hosts / 32).max(8),
+        placement,
+        ..FleetConfig::new(hosts, 0, horizon)
+    };
+    let mut fleet_table = TextTable::new(vec![
+        "hosts",
+        "VMs",
+        "shards",
+        "advance ms",
+        "control ms",
+        "host-hours/s",
+        "digest",
+    ]);
+    let mut fleet_csv = String::from(
+        "hosts,vms,horizon_hours,live_vms,placements,rejections,departures,\
+         suspends,resumes,active_host_hours,drowsy_host_hours,energy_kwh,digest\n",
+    );
+    let mut fleet_points = Vec::new();
+    let mut shard_identity = true;
+    for &hosts in &fleet_sizes {
+        let mut baseline: Option<FleetOutcome> = None;
+        for &shards in &shard_counts {
+            let out = run_fleet(fleet_cfg(hosts, shards, PlacementMode::Indexed));
+            let wall_s = (out.control_ms + out.advance_ms) / 1e3;
+            fleet_table.row(vec![
+                hosts.to_string(),
+                out.vms_target.to_string(),
+                out.shards.to_string(),
+                format!("{:.1}", out.advance_ms),
+                format!("{:.1}", out.control_ms),
+                format!("{:.0}", out.host_hours() as f64 / wall_s.max(1e-9)),
+                format!("{:016x}", out.digest),
+            ]);
+            fleet_points.push(
+                JsonObject::new()
+                    .int("hosts", hosts as u64)
+                    .int("vms", out.vms_target as u64)
+                    .int("shards", out.shards as u64)
+                    .num("advance_ms", out.advance_ms)
+                    .num("control_ms", out.control_ms)
+                    .num(
+                        "host_hours_per_sec",
+                        out.host_hours() as f64 / wall_s.max(1e-9),
+                    )
+                    .str("digest", &format!("{:016x}", out.digest)),
+            );
+            match &baseline {
+                None => {
+                    // Only the (deterministic) 1-shard rows feed the CSV,
+                    // so `--threads 1` and `--threads N` runs byte-diff.
+                    fleet_csv.push_str(&format!(
+                        "{hosts},{},{horizon},{},{},{},{},{},{},{},{},{:.6},{:016x}\n",
+                        out.vms_target,
+                        out.live_vms,
+                        out.placements,
+                        out.rejections,
+                        out.departures,
+                        out.suspends,
+                        out.resumes,
+                        out.active_host_hours,
+                        out.drowsy_host_hours,
+                        out.energy_kwh,
+                        out.digest,
+                    ));
+                    baseline = Some(out);
+                }
+                Some(one) => {
+                    let same = one.digest == out.digest
+                        && one.energy_kwh.to_bits() == out.energy_kwh.to_bits();
+                    shard_identity &= same;
+                    if !same {
+                        eprintln!(
+                            "ERROR: {hosts}-host fleet diverged at {} shards \
+                             ({:016x} vs {:016x})",
+                            out.shards, one.digest, out.digest
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("{}", fleet_table.render());
+    opts.write_csv("fleet_outcomes.csv", &fleet_csv);
+
+    // Control-epoch cost: incremental capacity index vs linear scan, on
+    // the same fleet and seed (outcomes are bit-identical; only the
+    // placement bookkeeping differs).
+    let speedup_hosts = opts
+        .hosts
+        .unwrap_or(if opts.quick { 2_000 } else { 10_000 });
+    let speedup_cfg = |placement| FleetConfig {
+        churn_per_epoch: (speedup_hosts / 4).max(8),
+        horizon_hours: 24,
+        ..fleet_cfg(speedup_hosts, 1, placement)
+    };
+    let indexed = run_fleet(speedup_cfg(PlacementMode::Indexed));
+    let scan = run_fleet(speedup_cfg(PlacementMode::Scan));
+    let placement_identity =
+        indexed.digest == scan.digest && indexed.energy_kwh.to_bits() == scan.energy_kwh.to_bits();
+    shard_identity &= placement_identity;
+    if !placement_identity {
+        eprintln!("ERROR: indexed placement diverged from the linear scan");
+    }
+    let index_speedup = scan.control_ms / indexed.control_ms.max(1e-9);
+    println!(
+        "capacity index vs linear scan ({speedup_hosts} hosts, {} churn/epoch): \
+         control epochs {:.1} ms vs {:.1} ms — {index_speedup:.0}x, bit-identical: {placement_identity}",
+        (speedup_hosts / 4).max(8),
+        indexed.control_ms,
+        scan.control_ms,
+    );
+
     opts.write_bench_json(
         "scalability",
         &opts
@@ -185,6 +334,15 @@ fn main() {
             .num("sweep_serial_s", serial_s)
             .num("sweep_parallel_s", parallel_s)
             .num("sweep_speedup", serial_s / parallel_s.max(1e-9))
-            .int("sweep_workers", cores as u64),
+            .int("sweep_workers", cores as u64)
+            .array("fleet_points", &fleet_points)
+            .bool("fleet_shard_identity", shard_identity)
+            .int("index_speedup_hosts", speedup_hosts as u64)
+            .num("indexed_control_ms", indexed.control_ms)
+            .num("scan_control_ms", scan.control_ms)
+            .num("capacity_index_speedup", index_speedup),
     );
+    if !shard_identity {
+        std::process::exit(1);
+    }
 }

@@ -13,7 +13,8 @@
 //! ```
 //!
 //! Shared flags: `--seed N` (override the scenario's seed), `--threads N`
-//! (0 = auto), `--out DIR`, `--json` (emit `BENCH_scenarios.json`),
+//! (0 = auto), `--hosts N` (rescale the fleet and workload mix to N
+//! machines), `--out DIR`, `--json` (emit `BENCH_scenarios.json`),
 //! `--quick` (cap simulated days at 2 for smoke runs). A malformed
 //! scenario file fails with a line-numbered error and a non-zero exit.
 
@@ -48,6 +49,10 @@ fn run_one(scenario: &Scenario, opts: &ExpOptions, seed: Option<u64>) -> (String
     if opts.quick && scenario.days > 2 {
         scenario.days = 2;
         days_note = " (quick: days capped at 2)".to_string();
+    }
+    if let Some(hosts) = opts.hosts {
+        scenario.scale_to_hosts(hosts);
+        days_note.push_str(&format!(" (--hosts: scaled to {hosts})"));
     }
     println!(
         "scenario '{}': {} hosts, {} VMs, {} days, {} mode{days_note}\n  {}",

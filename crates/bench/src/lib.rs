@@ -20,6 +20,10 @@ pub struct ExpOptions {
     pub policies: Option<Vec<String>>,
     /// Worker threads for sweep binaries (0 = one per available core).
     pub threads: usize,
+    /// Fleet-size override (`--hosts N`): binaries that simulate a fleet
+    /// scale their host count (and proportional VM population) to `N`.
+    /// `None` = the binary's default sizes.
+    pub hosts: Option<usize>,
     /// Also emit machine-readable `BENCH_*.json` artifacts (`--json`),
     /// for CI trend tracking.
     pub json: bool,
@@ -33,6 +37,7 @@ impl Default for ExpOptions {
             out_dir: PathBuf::from("results"),
             policies: None,
             threads: 0,
+            hosts: None,
             json: false,
         }
     }
@@ -43,7 +48,8 @@ impl ExpOptions {
     ///
     /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`,
     /// `--policies <name,name,…>` (policy-registry names),
-    /// `--threads <n>` (0 = auto), `--json` (machine-readable artifacts).
+    /// `--threads <n>` (0 = auto), `--hosts <n>` (fleet-size override),
+    /// `--json` (machine-readable artifacts).
     /// Unrecognized arguments are warned about and dropped; binaries with
     /// extra flags use [`ExpOptions::parse`] instead.
     pub fn from_args() -> Self {
@@ -98,11 +104,25 @@ impl ExpOptions {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| panic!("--threads needs a usize"));
                 }
+                "--hosts" => {
+                    i += 1;
+                    let n: usize = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--hosts needs a positive usize"));
+                    assert!(n > 0, "--hosts needs a positive usize");
+                    opts.hosts = Some(n);
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
         }
         (opts, rest)
+    }
+
+    /// The fleet size to simulate: the `--hosts` override, or `default`.
+    pub fn hosts_or(&self, default: usize) -> usize {
+        self.hosts.unwrap_or(default)
     }
 
     /// The policies to run: the `--policies` selection, or `default`.
@@ -262,6 +282,7 @@ mod tests {
         assert_eq!(o.out_dir, PathBuf::from("results"));
         assert_eq!(o.policies, None);
         assert_eq!(o.threads, 0);
+        assert_eq!(o.hosts, None);
         assert!(!o.json);
     }
 
@@ -317,6 +338,20 @@ mod tests {
         assert!(opts.quick);
         assert_eq!(opts.seed, 7);
         assert_eq!(rest, vec!["--list", "office-park", "--file"]);
+    }
+
+    #[test]
+    fn fleet_size_knob_parses_and_falls_back() {
+        let args: Vec<String> = ["--hosts", "1000", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, rest) = ExpOptions::parse(&args);
+        assert!(rest.is_empty());
+        assert_eq!(opts.hosts, Some(1000));
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.hosts_or(16), 1000);
+        assert_eq!(ExpOptions::default().hosts_or(16), 16);
     }
 
     #[test]

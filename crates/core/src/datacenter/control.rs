@@ -230,13 +230,19 @@ impl Datacenter {
     fn consolidate(&mut self, levels: &[f64], scores: &[f64], now: SimTime) {
         for round in 0..self.policy.plan_rounds() {
             let state = self.cluster_state(levels, scores);
-            let plan = self.policy.plan(
+            // Hand every round a free-capacity index over the snapshot:
+            // index-aware policies skip their per-decision fleet scans,
+            // while the default `plan_indexed` falls back to `plan`, so
+            // legacy policies stay bit-identical.
+            let index = dds_placement::CapacityIndex::from_cluster(&state);
+            let plan = self.policy.plan_indexed(
                 round,
                 &PlanningView {
                     state: &state,
                     vm_hist: &self.vm_hist,
                     host_hist: &self.host_hist,
                 },
+                &index,
                 &mut self.rng,
             );
             for m in &plan.consolidation.migrations {

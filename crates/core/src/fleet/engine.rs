@@ -1,0 +1,737 @@
+//! The sharded epoch loop over the struct-of-arrays fleet.
+//!
+//! Each simulated hour is one **epoch** with three phases:
+//!
+//! 1. **Churn** (main thread): departures and arrivals drawn from the one
+//!    seeded RNG stream, placed through the incremental
+//!    [`CapacityIndex`] or the reference linear scan — both produce
+//!    byte-identical decisions (the property suite in `dds-placement`
+//!    pins this), only their control cost differs.
+//! 2. **Advance** (sharded): host slots split into contiguous ranges of
+//!    disjoint `&mut` columns, fanned over [`std::thread::scope`]. A
+//!    host's hour depends only on its own columns and the (read-only) VM
+//!    arena, so shards never race. Per-host energy accumulates into the
+//!    host's own `f64` cell in hour order — fleet totals are an ordered
+//!    reduce at the end, making every statistic bit-identical for any
+//!    shard count.
+//! 3. **Merge** (main thread, shard order): power transitions reported by
+//!    each shard are applied to the capacity indexes (suspend = park in
+//!    the awake index / unpark in the asleep one; wake = the reverse).
+//!
+//! The host model is the paper's drowsy discipline at fleet granularity:
+//! an active host with zero demanded vCPUs suspends to S3 and records the
+//! earliest **waking date** among its residents' timers; a drowsy host
+//! resumes on traffic or when its waking date arrives, paying the
+//! transition energy of a suspend/resume cycle.
+
+use std::time::Instant;
+
+use dds_placement::CapacityIndex;
+use dds_power::HostPowerModel;
+use dds_sim_core::SimRng;
+
+use super::arena::{link, unlink, HostColumns, PowerState, VmArena, VmRef, NO_SLOT, NO_WAKE};
+use super::workload::{active_vcpus, next_active_hour, WorkloadClass};
+
+/// How the engine answers "which host takes this VM?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// Incremental bucketed free-capacity indexes (one over awake hosts,
+    /// one over drowsy hosts), updated on admit/evict/park/unpark.
+    Indexed,
+    /// The reference O(hosts) column scan. Same decisions, linear cost.
+    Scan,
+}
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Host count.
+    pub hosts: usize,
+    /// Initial VM arrivals (some may be rejected if the fleet is full).
+    pub vms: usize,
+    /// Identical whole-vCPU capacity per host.
+    pub vcpus_per_host: u32,
+    /// Simulated hours.
+    pub horizon_hours: u64,
+    /// Shard count for the advance phase; `0` = one per available core.
+    pub shards: usize,
+    /// Master seed; all randomness flows through this one stream.
+    pub seed: u64,
+    /// VM departures and arrivals per epoch.
+    pub churn_per_epoch: usize,
+    /// Placement implementation (outcome-identical either way).
+    pub placement: PlacementMode,
+}
+
+impl FleetConfig {
+    /// A config with the defaults the scalability bench sweeps around:
+    /// 16-vCPU hosts, single shard, indexed placement.
+    pub fn new(hosts: usize, vms: usize, horizon_hours: u64) -> Self {
+        FleetConfig {
+            hosts,
+            vms,
+            vcpus_per_host: 16,
+            horizon_hours,
+            shards: 1,
+            seed: 42,
+            churn_per_epoch: 32,
+            placement: PlacementMode::Indexed,
+        }
+    }
+}
+
+/// Everything a finished fleet run reports. All fields except the two
+/// wall-clock timings are bit-identical across shard counts and
+/// placement modes.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Host count simulated.
+    pub hosts: usize,
+    /// Requested initial VM arrivals.
+    pub vms_target: usize,
+    /// Simulated hours.
+    pub horizon_hours: u64,
+    /// Shards used for the advance phase.
+    pub shards: usize,
+    /// VMs resident at the end.
+    pub live_vms: usize,
+    /// Successful placements (initial + churn arrivals).
+    pub placements: u64,
+    /// Arrivals rejected for lack of capacity.
+    pub rejections: u64,
+    /// Departures drained by churn.
+    pub departures: u64,
+    /// Host suspend transitions.
+    pub suspends: u64,
+    /// Host resume transitions.
+    pub resumes: u64,
+    /// Host-hours spent in S0.
+    pub active_host_hours: u64,
+    /// Host-hours spent in S3.
+    pub drowsy_host_hours: u64,
+    /// Fleet energy in kWh (ordered per-host reduce; bit-stable).
+    pub energy_kwh: f64,
+    /// FNV-1a fingerprint of the final fleet state and counters.
+    pub digest: u64,
+    /// Wall-clock spent in churn + merge (the control epochs).
+    pub control_ms: f64,
+    /// Wall-clock spent advancing host shards.
+    pub advance_ms: f64,
+}
+
+impl FleetOutcome {
+    /// Total host-hours simulated — the throughput numerator.
+    pub fn host_hours(&self) -> u64 {
+        self.hosts as u64 * self.horizon_hours
+    }
+}
+
+/// FNV-1a over little-endian `u64` words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn add(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Read-only context shared by every shard during the advance phase.
+struct ShardCtx<'a> {
+    hour: u64,
+    vcpu_capacity: &'a [u32],
+    resident_head: &'a [u32],
+    vm_class: &'a [WorkloadClass],
+    vm_phase: &'a [u32],
+    vm_vcpus: &'a [u32],
+    vm_next: &'a [u32],
+    idle_w: f64,
+    peak_w: f64,
+    s3_w: f64,
+    /// Energy of one suspend/resume cycle in Wh.
+    cycle_wh: f64,
+}
+
+/// One shard's disjoint `&mut` window over the mutable host columns.
+struct ShardView<'a> {
+    base: usize,
+    power: &'a mut [PowerState],
+    waking_date: &'a mut [u64],
+    demand: &'a mut [u32],
+    active_hours: &'a mut [u64],
+    drowsy_hours: &'a mut [u64],
+    wakes: &'a mut [u64],
+    energy_wh: &'a mut [f64],
+}
+
+/// Power transitions a shard reports for the shard-ordered merge.
+struct ShardOutcome {
+    suspended: Vec<u32>,
+    woken: Vec<u32>,
+}
+
+/// Advances every host in `view` by one hour. Pure function of the
+/// shard's own columns plus the read-only context — safe from any thread.
+fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
+    let mut out = ShardOutcome {
+        suspended: Vec::new(),
+        woken: Vec::new(),
+    };
+    for i in 0..view.power.len() {
+        let slot = (view.base + i) as u32;
+        // Demanded vCPUs: walk the intrusive resident list.
+        let mut demand = 0u32;
+        let mut cur = ctx.resident_head[slot as usize];
+        while cur != NO_SLOT {
+            let v = cur as usize;
+            demand += active_vcpus(ctx.vm_class[v], ctx.vm_phase[v], ctx.vm_vcpus[v], ctx.hour);
+            cur = ctx.vm_next[v];
+        }
+        view.demand[i] = demand;
+        let cap = ctx.vcpu_capacity[slot as usize].max(1) as f64;
+        match view.power[i] {
+            PowerState::Active if demand == 0 => {
+                // Suspend at the top of the hour; record the earliest
+                // resident timer as the waking date.
+                let mut wake = NO_WAKE;
+                let mut cur = ctx.resident_head[slot as usize];
+                while cur != NO_SLOT {
+                    let v = cur as usize;
+                    wake = wake.min(next_active_hour(ctx.vm_class[v], ctx.vm_phase[v], ctx.hour));
+                    cur = ctx.vm_next[v];
+                }
+                view.power[i] = PowerState::Drowsy;
+                view.waking_date[i] = wake;
+                view.drowsy_hours[i] += 1;
+                view.energy_wh[i] += ctx.s3_w;
+                out.suspended.push(slot);
+            }
+            PowerState::Active => {
+                view.active_hours[i] += 1;
+                let util = (demand as f64 / cap).min(1.0);
+                view.energy_wh[i] += ctx.idle_w + (ctx.peak_w - ctx.idle_w) * util;
+            }
+            PowerState::Drowsy if demand > 0 || ctx.hour >= view.waking_date[i] => {
+                // Resume on traffic or the waking date; charge the
+                // transition cycle on top of the active hour.
+                view.power[i] = PowerState::Active;
+                view.waking_date[i] = NO_WAKE;
+                view.wakes[i] += 1;
+                view.active_hours[i] += 1;
+                let util = (demand as f64 / cap).min(1.0);
+                view.energy_wh[i] += ctx.cycle_wh + ctx.idle_w + (ctx.peak_w - ctx.idle_w) * util;
+                out.woken.push(slot);
+            }
+            PowerState::Drowsy => {
+                view.drowsy_hours[i] += 1;
+                view.energy_wh[i] += ctx.s3_w;
+            }
+        }
+    }
+    out
+}
+
+/// The sharded struct-of-arrays fleet simulation.
+pub struct FleetSim {
+    cfg: FleetConfig,
+    hosts: HostColumns,
+    vms: VmArena,
+    live: Vec<VmRef>,
+    /// Index over hosts in S0 (`Indexed` mode only).
+    awake: Option<CapacityIndex>,
+    /// Index over hosts in S3 (`Indexed` mode only).
+    asleep: Option<CapacityIndex>,
+    rng: SimRng,
+    placements: u64,
+    rejections: u64,
+    departures: u64,
+    suspends: u64,
+    resumes: u64,
+    idle_w: f64,
+    peak_w: f64,
+    s3_w: f64,
+    cycle_wh: f64,
+    control_ns: u128,
+    advance_ns: u128,
+}
+
+impl FleetSim {
+    /// Builds the fleet and admits the initial VM population.
+    pub fn new(cfg: FleetConfig) -> Self {
+        let model = HostPowerModel::paper_default();
+        let cycle_secs =
+            (model.timings.suspend_latency + model.timings.resume_normal).as_secs_f64();
+        let (awake, asleep) = match cfg.placement {
+            PlacementMode::Indexed => {
+                let caps = vec![cfg.vcpus_per_host; cfg.hosts];
+                let awake = CapacityIndex::new(&caps);
+                let mut asleep = CapacityIndex::new(&caps);
+                for slot in 0..cfg.hosts {
+                    asleep.park(slot as u32);
+                }
+                (Some(awake), Some(asleep))
+            }
+            PlacementMode::Scan => (None, None),
+        };
+        let mut sim = FleetSim {
+            hosts: HostColumns::new(cfg.hosts, cfg.vcpus_per_host),
+            vms: VmArena::new(),
+            live: Vec::with_capacity(cfg.vms),
+            awake,
+            asleep,
+            rng: SimRng::new(cfg.seed).stream("fleet"),
+            placements: 0,
+            rejections: 0,
+            departures: 0,
+            suspends: 0,
+            resumes: 0,
+            idle_w: model.idle_watts,
+            peak_w: model.peak_watts,
+            s3_w: model.suspended_watts,
+            cycle_wh: model.transition_watts * cycle_secs / 3600.0,
+            control_ns: 0,
+            advance_ns: 0,
+            cfg,
+        };
+        for _ in 0..sim.cfg.vms {
+            sim.arrival();
+        }
+        sim
+    }
+
+    /// Final host columns (inspection and digests).
+    pub fn columns(&self) -> &HostColumns {
+        &self.hosts
+    }
+
+    /// Live VM references.
+    pub fn live_refs(&self) -> &[VmRef] {
+        &self.live
+    }
+
+    /// The VM arena (inspection).
+    pub fn arena(&self) -> &VmArena {
+        &self.vms
+    }
+
+    /// Successful placements so far.
+    pub fn placements(&self) -> u64 {
+        self.placements
+    }
+
+    /// Departures so far.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+
+    /// Rejected arrivals so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Places and links one VM; returns its ref, or `None` when no host
+    /// fits. Exercised by churn and directly by tests.
+    pub fn admit_vm(&mut self, class: WorkloadClass, phase: u32, vcpus: u32) -> Option<VmRef> {
+        let host = self.place(vcpus)?;
+        let r = self.vms.alloc(class, phase, vcpus);
+        link(&mut self.hosts, &mut self.vms, host, r);
+        if let Some(ix) = &mut self.awake {
+            ix.admit(host, vcpus);
+        }
+        if let Some(ix) = &mut self.asleep {
+            ix.admit(host, vcpus);
+        }
+        self.live.push(r);
+        self.placements += 1;
+        Some(r)
+    }
+
+    /// Best-fit among awake hosts, falling back to best-fit among drowsy
+    /// ones — identical decisions from the indexes and the scan.
+    fn place(&self, need: u32) -> Option<u32> {
+        match (&self.awake, &self.asleep) {
+            (Some(awake), Some(asleep)) => awake.best_fit(need).or_else(|| asleep.best_fit(need)),
+            _ => {
+                let mut best_awake: Option<(u32, u32)> = None;
+                let mut best_asleep: Option<(u32, u32)> = None;
+                for slot in 0..self.hosts.len() as u32 {
+                    let free = self.hosts.free_vcpus(slot);
+                    if free < need {
+                        continue;
+                    }
+                    let cell = match self.hosts.power[slot as usize] {
+                        PowerState::Active => &mut best_awake,
+                        PowerState::Drowsy => &mut best_asleep,
+                    };
+                    // Strict `<` keeps the lowest slot on free-vCPU ties,
+                    // matching the index's tightest-bucket-first-slot rule.
+                    if cell.map(|(f, _)| free < f).unwrap_or(true) {
+                        *cell = Some((free, slot));
+                    }
+                }
+                best_awake.or(best_asleep).map(|(_, slot)| slot)
+            }
+        }
+    }
+
+    /// One arrival drawn from the churn stream.
+    fn arrival(&mut self) {
+        let class = WorkloadClass::ALL[self.rng.below(4) as usize];
+        let phase = self.rng.below(1 << 16) as u32;
+        let vcpus = 1u32 << self.rng.below(3); // 1, 2 or 4 vCPUs
+        if self.admit_vm(class, phase, vcpus).is_none() {
+            self.rejections += 1;
+        }
+    }
+
+    /// One departure drawn from the churn stream.
+    fn departure(&mut self) {
+        if self.live.is_empty() {
+            return;
+        }
+        let pick = self.rng.below(self.live.len() as u64) as usize;
+        let r = self.live.swap_remove(pick);
+        let vcpus = self.vms.vcpus[r.slot as usize];
+        let host = unlink(&mut self.hosts, &mut self.vms, r);
+        self.vms.release(r);
+        if let Some(ix) = &mut self.awake {
+            ix.evict(host, vcpus);
+        }
+        if let Some(ix) = &mut self.asleep {
+            ix.evict(host, vcpus);
+        }
+        self.departures += 1;
+    }
+
+    /// Shards actually used for the advance phase.
+    pub fn effective_shards(&self) -> usize {
+        let want = if self.cfg.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.shards
+        };
+        want.clamp(1, self.hosts.len().max(1))
+    }
+
+    /// One epoch: churn, sharded advance, shard-ordered merge.
+    pub fn step_hour(&mut self, hour: u64) {
+        let t0 = Instant::now();
+        let departures = self.cfg.churn_per_epoch.min(self.live.len());
+        for _ in 0..departures {
+            self.departure();
+        }
+        for _ in 0..self.cfg.churn_per_epoch {
+            self.arrival();
+        }
+        self.control_ns += t0.elapsed().as_nanos();
+
+        let t1 = Instant::now();
+        let outcomes = self.advance_hosts(hour);
+        self.advance_ns += t1.elapsed().as_nanos();
+
+        let t2 = Instant::now();
+        for out in outcomes {
+            self.suspends += out.suspended.len() as u64;
+            self.resumes += out.woken.len() as u64;
+            if let (Some(awake), Some(asleep)) = (&mut self.awake, &mut self.asleep) {
+                for &slot in &out.suspended {
+                    awake.park(slot);
+                    asleep.unpark(slot);
+                }
+                for &slot in &out.woken {
+                    awake.unpark(slot);
+                    asleep.park(slot);
+                }
+            }
+        }
+        self.control_ns += t2.elapsed().as_nanos();
+    }
+
+    /// Fans the host columns over `effective_shards()` scoped threads.
+    fn advance_hosts(&mut self, hour: u64) -> Vec<ShardOutcome> {
+        let shards = self.effective_shards();
+        let hosts = self.hosts.len();
+        let ctx = ShardCtx {
+            hour,
+            vcpu_capacity: &self.hosts.vcpu_capacity,
+            resident_head: &self.hosts.resident_head,
+            vm_class: &self.vms.class,
+            vm_phase: &self.vms.phase,
+            vm_vcpus: &self.vms.vcpus,
+            vm_next: &self.vms.next,
+            idle_w: self.idle_w,
+            peak_w: self.peak_w,
+            s3_w: self.s3_w,
+            cycle_wh: self.cycle_wh,
+        };
+        // Carve the mutable columns into disjoint contiguous windows.
+        let per = hosts.div_ceil(shards).max(1);
+        let mut views = Vec::with_capacity(shards);
+        let mut power = self.hosts.power.as_mut_slice();
+        let mut waking_date = self.hosts.waking_date.as_mut_slice();
+        let mut demand = self.hosts.demand.as_mut_slice();
+        let mut active_hours = self.hosts.active_hours.as_mut_slice();
+        let mut drowsy_hours = self.hosts.drowsy_hours.as_mut_slice();
+        let mut wakes = self.hosts.wakes.as_mut_slice();
+        let mut energy_wh = self.hosts.energy_wh.as_mut_slice();
+        let mut base = 0;
+        while !power.is_empty() {
+            let k = per.min(power.len());
+            let (p, rest) = power.split_at_mut(k);
+            power = rest;
+            let (w, rest) = waking_date.split_at_mut(k);
+            waking_date = rest;
+            let (d, rest) = demand.split_at_mut(k);
+            demand = rest;
+            let (a, rest) = active_hours.split_at_mut(k);
+            active_hours = rest;
+            let (s, rest) = drowsy_hours.split_at_mut(k);
+            drowsy_hours = rest;
+            let (wk, rest) = wakes.split_at_mut(k);
+            wakes = rest;
+            let (e, rest) = energy_wh.split_at_mut(k);
+            energy_wh = rest;
+            views.push(ShardView {
+                base,
+                power: p,
+                waking_date: w,
+                demand: d,
+                active_hours: a,
+                drowsy_hours: s,
+                wakes: wk,
+                energy_wh: e,
+            });
+            base += k;
+        }
+        if views.len() <= 1 {
+            return views.iter_mut().map(|v| advance_shard(&ctx, v)).collect();
+        }
+        std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let handles: Vec<_> = views
+                .into_iter()
+                .map(|mut view| scope.spawn(move || advance_shard(ctx, &mut view)))
+                .collect();
+            // Joining in spawn order keeps the merge shard-ordered.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet shard panicked"))
+                .collect()
+        })
+    }
+
+    /// FNV-1a fingerprint of the fleet state: every host column plus the
+    /// global counters. Bit-identical across shard counts and placement
+    /// modes, by construction.
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv::new();
+        for i in 0..self.hosts.len() {
+            fnv.add(self.hosts.power[i] as u64);
+            fnv.add(self.hosts.vcpu_used[i] as u64);
+            fnv.add(self.hosts.waking_date[i]);
+            fnv.add(self.hosts.demand[i] as u64);
+            fnv.add(self.hosts.resident_count[i] as u64);
+            fnv.add(self.hosts.active_hours[i]);
+            fnv.add(self.hosts.drowsy_hours[i]);
+            fnv.add(self.hosts.wakes[i]);
+            fnv.add(self.hosts.energy_wh[i].to_bits());
+        }
+        fnv.add(self.placements);
+        fnv.add(self.rejections);
+        fnv.add(self.departures);
+        fnv.add(self.suspends);
+        fnv.add(self.resumes);
+        fnv.add(self.live.len() as u64);
+        fnv.0
+    }
+
+    /// Runs the full horizon and reports.
+    pub fn run(mut self) -> FleetOutcome {
+        for hour in 0..self.cfg.horizon_hours {
+            self.step_hour(hour);
+        }
+        self.outcome()
+    }
+
+    /// The outcome for the state so far (ordered reduces over columns).
+    pub fn outcome(&self) -> FleetOutcome {
+        let mut energy_wh = 0.0;
+        let mut active = 0u64;
+        let mut drowsy = 0u64;
+        for i in 0..self.hosts.len() {
+            energy_wh += self.hosts.energy_wh[i];
+            active += self.hosts.active_hours[i];
+            drowsy += self.hosts.drowsy_hours[i];
+        }
+        FleetOutcome {
+            hosts: self.cfg.hosts,
+            vms_target: self.cfg.vms,
+            horizon_hours: self.cfg.horizon_hours,
+            shards: self.effective_shards(),
+            live_vms: self.live.len(),
+            placements: self.placements,
+            rejections: self.rejections,
+            departures: self.departures,
+            suspends: self.suspends,
+            resumes: self.resumes,
+            active_host_hours: active,
+            drowsy_host_hours: drowsy,
+            energy_kwh: energy_wh / 1000.0,
+            digest: self.digest(),
+            control_ms: self.control_ns as f64 / 1e6,
+            advance_ms: self.advance_ns as f64 / 1e6,
+        }
+    }
+}
+
+/// Builds and runs a fleet in one call.
+pub fn run_fleet(cfg: FleetConfig) -> FleetOutcome {
+    FleetSim::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> FleetConfig {
+        FleetConfig {
+            churn_per_epoch: 8,
+            seed: 7,
+            ..FleetConfig::new(48, 300, 96)
+        }
+    }
+
+    fn assert_same_bits(a: &FleetOutcome, b: &FleetOutcome) {
+        assert_eq!(a.digest, b.digest, "state digests diverge");
+        assert_eq!(a.energy_kwh.to_bits(), b.energy_kwh.to_bits());
+        assert_eq!(a.live_vms, b.live_vms);
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.rejections, b.rejections);
+        assert_eq!(a.departures, b.departures);
+        assert_eq!(a.suspends, b.suspends);
+        assert_eq!(a.resumes, b.resumes);
+        assert_eq!(a.active_host_hours, b.active_host_hours);
+        assert_eq!(a.drowsy_host_hours, b.drowsy_host_hours);
+    }
+
+    #[test]
+    fn one_and_many_shards_are_bit_identical() {
+        let one = run_fleet(FleetConfig {
+            shards: 1,
+            ..base_cfg()
+        });
+        for shards in [2, 4, 7] {
+            let many = run_fleet(FleetConfig {
+                shards,
+                ..base_cfg()
+            });
+            assert_same_bits(&one, &many);
+        }
+        // Auto shard count too.
+        let auto = run_fleet(FleetConfig {
+            shards: 0,
+            ..base_cfg()
+        });
+        assert_same_bits(&one, &auto);
+        assert!(one.suspends > 0, "fleet should exercise drowsy transitions");
+        assert!(one.resumes > 0);
+    }
+
+    #[test]
+    fn indexed_and_scan_placement_are_bit_identical() {
+        let indexed = run_fleet(FleetConfig {
+            placement: PlacementMode::Indexed,
+            shards: 2,
+            ..base_cfg()
+        });
+        let scan = run_fleet(FleetConfig {
+            placement: PlacementMode::Scan,
+            shards: 2,
+            ..base_cfg()
+        });
+        assert_same_bits(&indexed, &scan);
+    }
+
+    #[test]
+    fn population_is_conserved_through_churn() {
+        let mut sim = FleetSim::new(base_cfg());
+        for hour in 0..50 {
+            sim.step_hour(hour);
+        }
+        assert_eq!(
+            sim.live_refs().len() as u64,
+            sim.placements() - sim.departures()
+        );
+        let residents: u32 = sim.columns().resident_count.iter().sum();
+        assert_eq!(residents as usize, sim.live_refs().len());
+        let used: u32 = sim.columns().vcpu_used.iter().sum();
+        let reserved: u32 = sim
+            .live_refs()
+            .iter()
+            .map(|r| sim.arena().vcpus[r.slot as usize])
+            .sum();
+        assert_eq!(used, reserved);
+        for &r in sim.live_refs() {
+            assert!(sim.arena().is_live(r));
+        }
+        for slot in 0..sim.columns().len() as u32 {
+            assert!(
+                sim.columns().vcpu_used[slot as usize]
+                    <= sim.columns().vcpu_capacity[slot as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn drowsy_hosts_wake_on_their_waking_dates() {
+        // Four empty hosts, no churn; one nightly VM lands on host 0.
+        let mut sim = FleetSim::new(FleetConfig {
+            churn_per_epoch: 0,
+            ..FleetConfig::new(4, 0, 0)
+        });
+        let r = sim.admit_vm(WorkloadClass::Nightly, 5, 2).expect("fits");
+        assert_eq!(sim.arena().host[r.slot as usize], 0);
+        for hour in 0..48 {
+            sim.step_hour(hour);
+        }
+        let cols = sim.columns();
+        // Host 0: suspended at hour 0 with waking date 5, woke at hours 5
+        // and 29, suspended again after each nightly burst.
+        assert_eq!(cols.wakes[0], 2);
+        assert_eq!(cols.active_hours[0], 2);
+        assert_eq!(cols.drowsy_hours[0], 46);
+        assert_eq!(cols.power[0], PowerState::Drowsy);
+        // Empty hosts suspended immediately and never woke.
+        for h in 1..4 {
+            assert_eq!(cols.wakes[h], 0);
+            assert_eq!(cols.drowsy_hours[h], 48);
+            assert_eq!(cols.waking_date[h], NO_WAKE);
+        }
+        // Energy: host 0 paid two wake cycles on top of its S3 + active
+        // hours; empty hosts paid pure S3.
+        let model = HostPowerModel::paper_default();
+        assert!((cols.energy_wh[1] - 48.0 * model.suspended_watts).abs() < 1e-9);
+        assert!(cols.energy_wh[0] > cols.energy_wh[1]);
+    }
+
+    #[test]
+    fn full_fleet_rejects_overflow_arrivals() {
+        let sim = FleetSim::new(FleetConfig {
+            vcpus_per_host: 4,
+            churn_per_epoch: 0,
+            ..FleetConfig::new(1, 10, 0)
+        });
+        assert_eq!(sim.placements() + sim.rejections(), 10);
+        assert!(sim.rejections() > 0, "a 4-vCPU fleet cannot take 10 VMs");
+        assert!(sim.columns().vcpu_used[0] <= 4);
+    }
+}

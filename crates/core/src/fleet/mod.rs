@@ -1,0 +1,42 @@
+//! The hyperscale fleet engine: sharded struct-of-arrays datacenter.
+//!
+//! The paper's evaluation stops at rack scale, and so does the faithful
+//! [`Datacenter`](crate::datacenter::Datacenter) model: every host is a
+//! nested struct (`Vec<HostSim>` of power machines, process tables and
+//! meters) and every control decision scans the fleet linearly. That
+//! layout answers the paper's questions; it cannot answer fleet-level
+//! ones — 100k hosts × 1M VMs × a year of hours.
+//!
+//! This module is the scale path. It trades per-host fidelity for layout
+//! and parallelism, while keeping the repo's non-negotiable: **bit-exact
+//! determinism however many threads run**.
+//!
+//! * [`arena`] — dense struct-of-arrays columns for host state (power
+//!   state, utilization, vCPU occupancy, waking dates) and VM state, with
+//!   stable *generational* slots so references survive churn safely.
+//! * [`workload`] — procedural synthetic workloads: a VM's activity at
+//!   any hour is a pure function of `(class, phase, hour)`, so a million
+//!   VMs cost bytes each, not hourly traces.
+//! * [`engine`] — the sharded simulation loop: each epoch, host shards
+//!   advance independently over `std::thread::scope` (a host's hour
+//!   depends only on its own columns and residents), then a
+//!   deterministic, shard-ordered merge applies fleet-level effects
+//!   (capacity-index park/unpark). Placement decisions run through the
+//!   incremental [`CapacityIndex`](dds_placement::CapacityIndex) or the
+//!   reference linear scan — byte-identical outcomes, an order of
+//!   magnitude apart in control-epoch cost.
+//!
+//! The determinism discipline is the same one `run_sweep` and the QoS
+//! replay layer already prove at experiment granularity, pushed down into
+//! the epoch loop: shard results are merged in shard order, every
+//! cross-host decision happens on the main thread, and all randomness
+//! flows through one seeded stream — so 1-shard and N-shard runs produce
+//! identical bits, which `BENCH_scalability.json` pins PR-over-PR.
+
+pub mod arena;
+pub mod engine;
+pub mod workload;
+
+pub use arena::{HostColumns, PowerState, VmArena, VmRef};
+pub use engine::{run_fleet, FleetConfig, FleetOutcome, FleetSim, PlacementMode};
+pub use workload::WorkloadClass;

@@ -1,0 +1,197 @@
+//! Procedural synthetic workloads for fleet-scale VM populations.
+//!
+//! The faithful model carries an hourly activity trace per VM; at a
+//! million VMs over a simulated year that is ~10⁹ samples of storage.
+//! Here a VM's activity at hour *h* is a **pure function** of its
+//! `(class, phase)` pair and *h* — bytes per VM, zero per-hour state, and
+//! trivially safe to evaluate from any shard thread.
+//!
+//! The four classes mirror the workload families the paper's idleness
+//! taxonomy distinguishes: always-on services, interactive office-hours
+//! VMs, timer-driven nightly jobs, and bursty stochastic consumers (the
+//! latter deterministically pseudo-random via a hash of the hour).
+
+/// Workload class, one byte per VM in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WorkloadClass {
+    /// Always active (databases, load balancers).
+    AlwaysOn = 0,
+    /// Active on weekdays during a ten-hour office window whose start is
+    /// shifted by the VM's phase.
+    Office = 1,
+    /// Active one hour per day (nightly batch), at an hour set by phase.
+    Nightly = 2,
+    /// Active ~25 % of hours, chosen by a deterministic hash.
+    Bursty = 3,
+}
+
+impl WorkloadClass {
+    /// All classes, in discriminant order (sampling tables).
+    pub const ALL: [WorkloadClass; 4] = [
+        WorkloadClass::AlwaysOn,
+        WorkloadClass::Office,
+        WorkloadClass::Nightly,
+        WorkloadClass::Bursty,
+    ];
+}
+
+/// SplitMix64 finalizer: the statelss hash behind bursty activity.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn office_window(phase: u32) -> (u64, u64) {
+    let start = 7 + (phase % 3) as u64; // 07:00, 08:00 or 09:00
+    (start, start + 10)
+}
+
+fn is_weekday(hour: u64) -> bool {
+    // The simulation epoch is a Monday (see `dds_sim_core::time`).
+    (hour / 24) % 7 < 5
+}
+
+/// True when the VM is active at global hour `hour`.
+pub fn is_active(class: WorkloadClass, phase: u32, hour: u64) -> bool {
+    match class {
+        WorkloadClass::AlwaysOn => true,
+        WorkloadClass::Office => {
+            let (start, end) = office_window(phase);
+            let hod = hour % 24;
+            is_weekday(hour) && hod >= start && hod < end
+        }
+        WorkloadClass::Nightly => hour % 24 == (phase % 24) as u64,
+        WorkloadClass::Bursty => mix(hour ^ ((phase as u64) << 32)).is_multiple_of(4),
+    }
+}
+
+/// vCPUs the VM demands at `hour` (all-or-nothing: its reservation when
+/// active, zero when idle).
+pub fn active_vcpus(class: WorkloadClass, phase: u32, vcpus: u32, hour: u64) -> u32 {
+    if is_active(class, phase, hour) {
+        vcpus
+    } else {
+        0
+    }
+}
+
+/// The next hour strictly after `hour` at which the VM is active — the
+/// waking date a suspending host records for this resident. Bursty VMs
+/// have no timer; their wake is bounded by a one-week scan (activity is
+/// ~25 % per hour, so the bound is unreachable in practice but keeps the
+/// function total and deterministic).
+pub fn next_active_hour(class: WorkloadClass, phase: u32, hour: u64) -> u64 {
+    match class {
+        WorkloadClass::AlwaysOn => hour + 1,
+        WorkloadClass::Nightly => {
+            let target = (phase % 24) as u64;
+            let today = hour - hour % 24 + target;
+            if today > hour {
+                today
+            } else {
+                today + 24
+            }
+        }
+        WorkloadClass::Office => {
+            let (start, end) = office_window(phase);
+            let mut h = hour + 1;
+            loop {
+                let (day, hod) = (h / 24, h % 24);
+                if is_weekday(h) {
+                    if hod < start {
+                        return day * 24 + start;
+                    }
+                    if hod < end {
+                        return h;
+                    }
+                }
+                h = (day + 1) * 24 + start; // the window opening, next day
+            }
+        }
+        WorkloadClass::Bursty => (hour + 1..hour + 169)
+            .find(|&h| is_active(WorkloadClass::Bursty, phase, h))
+            .unwrap_or(hour + 169),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_never_idles() {
+        for h in 0..200 {
+            assert!(is_active(WorkloadClass::AlwaysOn, 7, h));
+        }
+        assert_eq!(active_vcpus(WorkloadClass::AlwaysOn, 7, 4, 11), 4);
+        assert_eq!(next_active_hour(WorkloadClass::AlwaysOn, 7, 11), 12);
+    }
+
+    #[test]
+    fn office_keeps_weekday_business_hours() {
+        // phase 0 -> 07:00..17:00. Hour 0 is Monday 00:00.
+        assert!(!is_active(WorkloadClass::Office, 0, 6));
+        assert!(is_active(WorkloadClass::Office, 0, 7));
+        assert!(is_active(WorkloadClass::Office, 0, 16));
+        assert!(!is_active(WorkloadClass::Office, 0, 17));
+        // Saturday (day 5) is idle all day.
+        for h in 5 * 24..6 * 24 {
+            assert!(!is_active(WorkloadClass::Office, 0, h));
+        }
+        assert_eq!(active_vcpus(WorkloadClass::Office, 0, 2, 3), 0);
+    }
+
+    #[test]
+    fn nightly_fires_exactly_once_a_day() {
+        let phase = 26; // 02:00
+        let active: Vec<u64> = (0..72)
+            .filter(|&h| is_active(WorkloadClass::Nightly, phase, h))
+            .collect();
+        assert_eq!(active, vec![2, 26, 50]);
+        assert_eq!(next_active_hour(WorkloadClass::Nightly, phase, 0), 2);
+        assert_eq!(next_active_hour(WorkloadClass::Nightly, phase, 2), 26);
+    }
+
+    #[test]
+    fn next_active_hour_is_the_first_active_hour_after_now() {
+        // The closed-form waking dates must agree with a brute-force scan
+        // for every class across phases and a multi-week window.
+        for class in WorkloadClass::ALL {
+            for phase in [0u32, 1, 2, 5, 23, 97] {
+                for hour in (0..400).step_by(7) {
+                    let fast = next_active_hour(class, phase, hour);
+                    let brute =
+                        (hour + 1..hour + 1 + 24 * 14).find(|&h| is_active(class, phase, h));
+                    if let Some(b) = brute {
+                        assert_eq!(
+                            fast, b,
+                            "{class:?} phase {phase} hour {hour}: fast {fast} vs brute {b}"
+                        );
+                        assert!(is_active(class, phase, fast));
+                    }
+                    assert!(fast > hour);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_is_deterministic_and_roughly_quarter_duty() {
+        let a: Vec<bool> = (0..1_000)
+            .map(|h| is_active(WorkloadClass::Bursty, 9, h))
+            .collect();
+        let b: Vec<bool> = (0..1_000)
+            .map(|h| is_active(WorkloadClass::Bursty, 9, h))
+            .collect();
+        assert_eq!(a, b, "pure function of (phase, hour)");
+        let duty = a.iter().filter(|&&x| x).count();
+        assert!((150..350).contains(&duty), "~25% duty, got {duty}/1000");
+        // Different phases decorrelate.
+        let c: Vec<bool> = (0..1_000)
+            .map(|h| is_active(WorkloadClass::Bursty, 10, h))
+            .collect();
+        assert_ne!(a, c);
+    }
+}

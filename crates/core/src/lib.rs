@@ -28,11 +28,17 @@
 //!   Table I, the kWh totals and the SLA analysis);
 //! * [`cluster`] — the §VI.B CloudSim-style sweep over the LLMI
 //!   fraction, with a parallel fan-out runner in [`sweep`].
+//!
+//! Beyond the paper's rack scale, [`fleet`] is the hyperscale path: a
+//! sharded struct-of-arrays datacenter (100k hosts, 1M VMs) with
+//! incremental capacity-index placement and bit-exact determinism across
+//! shard counts.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod datacenter;
+pub mod fleet;
 pub mod registry;
 pub mod spec;
 pub mod sweep;
@@ -45,6 +51,7 @@ pub use datacenter::{
     AdmitError, Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig,
     WakeRecord,
 };
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, FleetSim, PlacementMode};
 pub use registry::{PolicyEntry, PolicyRegistry};
 pub use spec::{HostSpec, VmMemberSpec, VmSpec, WorkloadKind};
 pub use sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};

@@ -1,0 +1,91 @@
+//! Cross-crate equivalence suite for the hyperscale fleet engine: the
+//! properties `BENCH_scalability.json` pins in CI, exercised as tests —
+//! shard-count invariance, index-vs-scan placement identity, and churn
+//! determinism across a seed grid.
+
+use dds_core::{run_fleet, FleetConfig, FleetOutcome, PlacementMode};
+
+fn cfg(seed: u64) -> FleetConfig {
+    FleetConfig {
+        seed,
+        churn_per_epoch: 6,
+        ..FleetConfig::new(40, 260, 72)
+    }
+}
+
+fn same_bits(a: &FleetOutcome, b: &FleetOutcome) -> bool {
+    a.digest == b.digest
+        && a.energy_kwh.to_bits() == b.energy_kwh.to_bits()
+        && a.live_vms == b.live_vms
+        && a.placements == b.placements
+        && a.rejections == b.rejections
+        && a.departures == b.departures
+        && a.suspends == b.suspends
+        && a.resumes == b.resumes
+        && a.active_host_hours == b.active_host_hours
+        && a.drowsy_host_hours == b.drowsy_host_hours
+}
+
+#[test]
+fn shard_count_never_changes_fleet_outcomes() {
+    for seed in [1, 7, 99] {
+        let one = run_fleet(FleetConfig {
+            shards: 1,
+            ..cfg(seed)
+        });
+        for shards in [2, 3, 5, 8] {
+            let many = run_fleet(FleetConfig {
+                shards,
+                ..cfg(seed)
+            });
+            assert!(
+                same_bits(&one, &many),
+                "seed {seed}: {shards} shards diverged from 1 shard"
+            );
+        }
+    }
+}
+
+#[test]
+fn capacity_index_and_linear_scan_place_identically() {
+    for seed in [1, 7, 99] {
+        let indexed = run_fleet(FleetConfig {
+            placement: PlacementMode::Indexed,
+            ..cfg(seed)
+        });
+        let scan = run_fleet(FleetConfig {
+            placement: PlacementMode::Scan,
+            shards: 3,
+            ..cfg(seed)
+        });
+        assert!(
+            same_bits(&indexed, &scan),
+            "seed {seed}: indexed placement diverged from the scan"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible_and_seeds_decorrelate() {
+    let a = run_fleet(cfg(11));
+    let b = run_fleet(cfg(11));
+    assert!(same_bits(&a, &b), "same seed must replay identically");
+    let c = run_fleet(cfg(12));
+    assert_ne!(a.digest, c.digest, "different seeds must diverge");
+}
+
+#[test]
+fn fleet_outcomes_account_for_every_host_hour() {
+    let out = run_fleet(cfg(5));
+    assert_eq!(
+        out.active_host_hours + out.drowsy_host_hours,
+        out.host_hours(),
+        "every host spends every hour either active or drowsy"
+    );
+    assert_eq!(out.live_vms as u64, out.placements - out.departures);
+    assert!(
+        out.suspends >= out.resumes,
+        "a resume needs a prior suspend"
+    );
+    assert!(out.energy_kwh > 0.0);
+}

@@ -27,11 +27,16 @@
 //! * [`policy`] — the pluggable [`ControlPolicy`] layer the datacenter
 //!   controller dispatches through, with ready-made impls of the paper's
 //!   four algorithms.
+//! * [`capacity`] — the incremental free-capacity index
+//!   ([`CapacityIndex`]): hosts bucketed by free vCPUs, updated on
+//!   admit/evict/park/unpark, so fleet-scale placement stops re-scanning
+//!   every host per decision (bit-identical to the reference scan).
 //! * [`sleepscale`] — a SleepScale-inspired joint speed-scaling +
 //!   sleep-state policy proving the seam admits genuinely new algorithms.
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod drowsy;
 pub mod filters;
 pub mod history;
@@ -42,6 +47,7 @@ pub mod policy;
 pub mod sleepscale;
 pub mod types;
 
+pub use capacity::{CapacityIndex, ScanIndex};
 pub use drowsy::{DrowsyConfig, DrowsyPlanner};
 pub use filters::{FilterScheduler, HostFilter, HostWeigher};
 pub use history::HistoryBook;

@@ -33,6 +33,7 @@
 //! [`label`]: ControlPolicy::label
 //! [`plan`]: ControlPolicy::plan
 
+use crate::capacity::CapacityIndex;
 use crate::filters::FilterScheduler;
 use crate::history::HistoryBook;
 use crate::neat::{HostHistories, NeatConfig, NeatPlanner};
@@ -144,6 +145,27 @@ pub trait ControlPolicy: Send {
 
     /// Computes the relocation plan for `round ∈ 0..plan_rounds()`.
     fn plan(&mut self, round: usize, view: &PlanningView<'_>, rng: &mut SimRng) -> ControlPlan;
+
+    /// Index-aware variant of [`plan`](Self::plan): the controller hands
+    /// the policy an incremental [`CapacityIndex`] over the snapshot
+    /// (slot *i* = `view.state.hosts[i]`, free count = whole vCPUs not
+    /// claimed by resident VMs) so fleet-scale policies can answer
+    /// "where does this VM fit?" without re-scanning every host.
+    ///
+    /// The default ignores the index and falls back to the scan-based
+    /// [`plan`](Self::plan) — existing policies stay bit-identical. A
+    /// policy overriding this must keep the index contract: decisions
+    /// derived through the index must equal the ones a linear scan over
+    /// the same snapshot would make (see [`crate::capacity`]).
+    fn plan_indexed(
+        &mut self,
+        round: usize,
+        view: &PlanningView<'_>,
+        _index: &CapacityIndex,
+        rng: &mut SimRng,
+    ) -> ControlPlan {
+        self.plan(round, view, rng)
+    }
 
     /// Sleep state for a host whose suspend check just passed.
     ///
@@ -368,6 +390,30 @@ mod tests {
         // Underloaded single-VM cluster: Neat drains host 0 or does nothing,
         // but never parks (that is Oasis-only vocabulary).
         assert!(plan.unpark.is_empty() && plan.park.is_empty());
+    }
+
+    #[test]
+    fn default_plan_indexed_falls_back_to_the_scan_plan() {
+        // The index-aware entry point must be a pure accelerator: for
+        // policies that do not override it, handing an index changes
+        // nothing about the plan.
+        let state = ClusterState::new(vec![
+            host(0, 0, vec![vm(0, 7.5, 0.0), vm(1, 7.5, 0.1)]),
+            host(1, 0, vec![vm(2, 0.1, 0.0)]),
+            host(2, 0, vec![]),
+        ]);
+        let (vm_hist, host_hist) = view_of(&state);
+        let view = PlanningView {
+            state: &state,
+            vm_hist: &vm_hist,
+            host_hist: &host_hist,
+        };
+        let index = crate::capacity::CapacityIndex::from_cluster(&state);
+        let mut a = NeatPolicy::suspending(NeatConfig::paper_default());
+        let mut b = NeatPolicy::suspending(NeatConfig::paper_default());
+        let plain = a.plan(0, &view, &mut SimRng::new(11));
+        let indexed = b.plan_indexed(0, &view, &index, &mut SimRng::new(11));
+        assert_eq!(plain, indexed);
     }
 
     #[test]

@@ -855,6 +855,24 @@ impl Scenario {
         self.workloads.iter().map(|g| g.count).sum()
     }
 
+    /// Rescales the scenario to roughly `hosts` machines, keeping the
+    /// class and workload *mix* (the shared `--hosts` fleet-size knob).
+    /// Host-class counts round up and workload counts round down against
+    /// the same factor, so a feasible scenario stays feasible; every
+    /// non-empty class and group keeps at least one member.
+    pub fn scale_to_hosts(&mut self, hosts: usize) {
+        let current = self.host_count();
+        if current == 0 || hosts == 0 || hosts == current {
+            return;
+        }
+        for class in &mut self.fleet {
+            class.count = (class.count * hosts).div_ceil(current).max(1);
+        }
+        for group in &mut self.workloads {
+            group.count = (group.count * hosts / current).max(1);
+        }
+    }
+
     /// Compiles the scenario onto the cluster machinery: the fleet
     /// expands into per-host [`HostSpec`]s (class power models attached),
     /// the workload mix into [`VmMemberSpec`] groups, and the engine
@@ -1156,6 +1174,27 @@ ram-mb = 6144
             s.fleet[0].power.is_none(),
             "no overrides → fleet-wide model"
         );
+    }
+
+    #[test]
+    fn scale_to_hosts_keeps_the_mix_and_feasibility() {
+        let mut s = Scenario::parse(MINIMAL).unwrap();
+        s.scale_to_hosts(7);
+        assert_eq!(s.host_count(), 7);
+        assert_eq!(s.vm_count(), 7, "workloads scale with the fleet");
+        // Capacity grew at least as fast as demand: still feasible.
+        let ram: u64 = s.fleet.iter().map(|c| c.ram_mb * c.count as u64).sum();
+        let need: u64 = s.workloads.iter().map(|g| g.ram_mb * g.count as u64).sum();
+        assert!(need <= ram);
+        // Scaling down keeps every class and group populated.
+        s.scale_to_hosts(1);
+        assert_eq!(s.host_count(), 1);
+        assert_eq!(s.vm_count(), 1);
+        // No-op cases leave the scenario untouched.
+        let before = s.host_count();
+        s.scale_to_hosts(0);
+        s.scale_to_hosts(before);
+        assert_eq!(s.host_count(), before);
     }
 
     #[test]

@@ -508,6 +508,45 @@ mod tests {
     }
 
     #[test]
+    fn full_year_horizon_arithmetic_crosses_the_year_seam() {
+        // The hyperscale fleet engine runs 8760-hour (one-year) horizons by
+        // global hour index; pin the arithmetic at and across the seam.
+        let horizon = SimTime::from_hours(HOURS_PER_YEAR);
+        assert_eq!(horizon.hour_index(), 8_760);
+        assert_eq!(horizon.day_index(), DAYS_PER_YEAR);
+        assert_eq!(
+            horizon.saturating_since(SimTime::EPOCH),
+            SimDuration::from_hours(HOURS_PER_YEAR)
+        );
+        // Hour-by-hour stepping over the seam: each step is one hour, the
+        // hour index is dense, and the calendar rolls over exactly once.
+        let mut t = SimTime::from_hours(HOURS_PER_YEAR - 2);
+        for expect in [8_758u64, 8_759, 8_760, 8_761] {
+            assert_eq!(t.hour_index(), expect);
+            assert_eq!(t.calendar().year, if expect < 8_760 { 0 } else { 1 });
+            assert_eq!(t.calendar().to_time(), t);
+            let next = t.next_hour();
+            assert_eq!(next.saturating_since(t), SimDuration::from_hours(1));
+            t = next;
+        }
+        // 365 days = 52 weeks + 1 day: year 1 starts one weekday later.
+        assert_eq!(
+            SimTime::from_hours(HOURS_PER_YEAR).calendar().weekday,
+            Weekday::Tuesday
+        );
+        assert_eq!(SimTime::EPOCH.calendar().weekday, Weekday::Monday);
+        // An event scheduled "one year out" lands on the same calendar
+        // date (simplified leap-free calendar).
+        let d1 = SimTime::from_hours(100).calendar();
+        let d2 = (SimTime::from_hours(100) + SimDuration::from_hours(HOURS_PER_YEAR)).calendar();
+        assert_eq!(
+            (d1.month, d1.day_of_month, d1.hour),
+            (d2.month, d2.day_of_month, d2.hour)
+        );
+        assert_eq!(d2.year, d1.year + 1);
+    }
+
+    #[test]
     fn far_future_hours_roundtrip() {
         // Multi-century instants keep decomposing exactly (u64 headroom).
         for hour_index in [
