@@ -1,0 +1,102 @@
+//! Criterion bench: persistent-executor dispatch vs per-epoch scoped
+//! spawning, and the macro-stepping fast path vs the naive hourly walk.
+//!
+//! The `dispatch/*` rows isolate the fan-out overhead the [`WorkerPool`]
+//! removes (thread spawn + join per epoch, ~10-50 µs each, paid
+//! thousands of times over a simulated year); the `fleet/*` rows run a
+//! real fleet horizon through every `{executor} × {stepping}` cell of
+//! the grid pinned bit-identical by `fleet_equivalence.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::{run_fleet, ExecutorMode, FleetConfig, SteppingMode};
+use dds_sim_core::WorkerPool;
+
+/// A shard-sized unit of CPU work (roughly one advance over a small
+/// column window), so dispatch overhead is measured against a realistic
+/// per-task payload rather than an empty closure.
+fn shard_payload(seed: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..10_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(20);
+    for &shards in &[1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("dispatch/scoped", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| {
+                    let mut outs = vec![0u64; n];
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..n)
+                            .map(|i| scope.spawn(move || shard_payload(i as u64)))
+                            .collect();
+                        for (slot, h) in outs.iter_mut().zip(handles) {
+                            *slot = h.join().unwrap();
+                        }
+                    });
+                    std::hint::black_box(outs)
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dispatch/pool", shards),
+            &shards,
+            |b, &n| {
+                b.iter(|| {
+                    let tasks: Vec<_> = (0..n).map(|i| move || shard_payload(i as u64)).collect();
+                    std::hint::black_box(WorkerPool::global().run_ordered(n, tasks))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fleet_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+    let grid = [
+        (
+            "fleet/scoped+hourly",
+            ExecutorMode::Scoped,
+            SteppingMode::Hourly,
+        ),
+        (
+            "fleet/scoped+macro",
+            ExecutorMode::Scoped,
+            SteppingMode::Macro,
+        ),
+        (
+            "fleet/pool+hourly",
+            ExecutorMode::Pool,
+            SteppingMode::Hourly,
+        ),
+        ("fleet/pool+macro", ExecutorMode::Pool, SteppingMode::Macro),
+    ];
+    for (name, executor, stepping) in grid {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(run_fleet(FleetConfig {
+                    executor,
+                    stepping,
+                    shards: 4,
+                    churn_per_epoch: 8,
+                    // Office-dominated: the drowsy-heavy regime the
+                    // macro-stepping fast path targets.
+                    class_mix: [0, 1, 0, 0],
+                    ..FleetConfig::new(2_000, 20_000, 48)
+                }))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_fleet_grid);
+criterion_main!(benches);

@@ -21,15 +21,23 @@
 //! The binary asserts in-process that every shard count reproduces the
 //! 1-shard digest bit-for-bit (exit non-zero on divergence) and measures
 //! the control-epoch speedup of the incremental capacity index over the
-//! reference linear-scan placement. `fleet_outcomes.csv` carries only the
-//! deterministic columns, so CI byte-diffs a `--threads 1` run against a
-//! `--threads N` run. Shared flags: `--quick`, `--seed N`, `--threads N`
-//! (shard counts to sweep; 0 = auto), `--hosts N` (single fleet size
-//! instead of the sweep), `--out DIR`, `--json`.
+//! reference linear-scan placement, plus the executor and stepping
+//! speedups (persistent pool vs per-epoch thread scope, macro-stepping
+//! vs the hourly walk) on a drowsy-heavy fleet — all four combinations
+//! must land on one digest. `fleet_outcomes.csv` carries only the
+//! deterministic columns, so CI byte-diffs `--threads 1` vs `--threads
+//! N`, pooled vs scoped, and macro vs hourly runs. Shared flags:
+//! `--quick`, `--seed N`, `--threads N` (shard counts to sweep; 0 =
+//! auto), `--hosts N` (single fleet size instead of the sweep),
+//! `--out DIR`, `--json`. Binary flags: `--pool` (dispatch the fleet
+//! sweep over the persistent worker pool instead of scoped threads),
+//! `--no-macro` (force the reference hourly walk).
 
 use dds_bench::{ExpOptions, JsonObject};
 use dds_core::cluster::ClusterSpec;
-use dds_core::fleet::{run_fleet, FleetConfig, FleetOutcome, PlacementMode};
+use dds_core::fleet::{
+    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, PlacementMode, SteppingMode,
+};
 use dds_core::sweep::{auto_threads, llmi_grid, run_sweep};
 use dds_placement::{
     ClusterState, DrowsyConfig, DrowsyPlanner, HistoryBook, HostState, MultiplexPlanner, VmState,
@@ -76,7 +84,17 @@ fn build_state(n_vms: usize, rng: &mut SimRng) -> (ClusterState, HistoryBook) {
 }
 
 fn main() {
-    let opts = ExpOptions::from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = ExpOptions::parse(&args);
+    let mut executor = ExecutorMode::Scoped;
+    let mut stepping = SteppingMode::Macro;
+    for flag in &rest {
+        match flag.as_str() {
+            "--pool" => executor = ExecutorMode::Pool,
+            "--no-macro" => stepping = SteppingMode::Hourly,
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
     let sizes: &[usize] = if opts.quick {
         &[64, 256]
     } else {
@@ -205,7 +223,10 @@ fn main() {
     if max_shards > 1 {
         shard_counts.push(max_shards);
     }
-    println!("\nhyperscale fleet engine ({horizon} h horizon, shard counts {shard_counts:?})\n");
+    println!(
+        "\nhyperscale fleet engine ({horizon} h horizon, shard counts {shard_counts:?}, \
+         {executor:?} executor, {stepping:?} stepping)\n"
+    );
     let fleet_cfg = |hosts: usize, shards: usize, placement: PlacementMode| FleetConfig {
         hosts,
         vms: (hosts * 10).min(1_000_000),
@@ -214,12 +235,15 @@ fn main() {
         seed: opts.seed,
         churn_per_epoch: (hosts / 32).max(8),
         placement,
+        executor,
+        stepping,
         ..FleetConfig::new(hosts, 0, horizon)
     };
     let mut fleet_table = TextTable::new(vec![
         "hosts",
         "VMs",
         "shards",
+        "churn ms",
         "advance ms",
         "control ms",
         "host-hours/s",
@@ -235,11 +259,12 @@ fn main() {
         let mut baseline: Option<FleetOutcome> = None;
         for &shards in &shard_counts {
             let out = run_fleet(fleet_cfg(hosts, shards, PlacementMode::Indexed));
-            let wall_s = (out.control_ms + out.advance_ms) / 1e3;
+            let wall_s = out.epoch_ms() / 1e3;
             fleet_table.row(vec![
                 hosts.to_string(),
                 out.vms_target.to_string(),
                 out.shards.to_string(),
+                format!("{:.1}", out.churn_ms),
                 format!("{:.1}", out.advance_ms),
                 format!("{:.1}", out.control_ms),
                 format!("{:.0}", out.host_hours() as f64 / wall_s.max(1e-9)),
@@ -250,6 +275,7 @@ fn main() {
                     .int("hosts", hosts as u64)
                     .int("vms", out.vms_target as u64)
                     .int("shards", out.shards as u64)
+                    .num("churn_ms", out.churn_ms)
                     .num("advance_ms", out.advance_ms)
                     .num("control_ms", out.control_ms)
                     .num(
@@ -299,9 +325,12 @@ fn main() {
     // Control-epoch cost: incremental capacity index vs linear scan, on
     // the same fleet and seed (outcomes are bit-identical; only the
     // placement bookkeeping differs).
+    // Capped: the scan baseline is O(hosts × churn) per epoch, so huge
+    // `--hosts` overrides would spend minutes in the reference path.
     let speedup_hosts = opts
         .hosts
-        .unwrap_or(if opts.quick { 2_000 } else { 10_000 });
+        .unwrap_or(if opts.quick { 2_000 } else { 10_000 })
+        .min(20_000);
     let speedup_cfg = |placement| FleetConfig {
         churn_per_epoch: (speedup_hosts / 4).max(8),
         horizon_hours: 24,
@@ -315,13 +344,119 @@ fn main() {
     if !placement_identity {
         eprintln!("ERROR: indexed placement diverged from the linear scan");
     }
-    let index_speedup = scan.control_ms / indexed.control_ms.max(1e-9);
+    // Placement cost lives in the churn phase (best-fit per arrival)
+    // plus the merge (park/unpark bookkeeping) — compare both together.
+    let indexed_ctl = indexed.churn_ms + indexed.control_ms;
+    let scan_ctl = scan.churn_ms + scan.control_ms;
+    let index_speedup = scan_ctl / indexed_ctl.max(1e-9);
     println!(
         "capacity index vs linear scan ({speedup_hosts} hosts, {} churn/epoch): \
-         control epochs {:.1} ms vs {:.1} ms — {index_speedup:.0}x, bit-identical: {placement_identity}",
+         churn+merge epochs {indexed_ctl:.1} ms vs {scan_ctl:.1} ms — \
+         {index_speedup:.0}x, bit-identical: {placement_identity}",
         (speedup_hosts / 4).max(8),
-        indexed.control_ms,
-        scan.control_ms,
+    );
+
+    // Executor and stepping speedups: the same drowsy-heavy fleet
+    // (office + nightly dominated, so most hosts park for long
+    // stretches) run through all four {executor} × {stepping}
+    // combinations at the widest shard count. Digests must agree; only
+    // the wall-clock may differ.
+    let exec_hosts = opts
+        .hosts
+        .unwrap_or(if opts.quick { 2_000 } else { 20_000 });
+    let exec_shards = *shard_counts.last().unwrap();
+    let exec_horizon: u64 = if opts.quick { 48 } else { 168 };
+    let exec_cfg = |executor, stepping| FleetConfig {
+        executor,
+        stepping,
+        horizon_hours: exec_horizon,
+        // LLMI fleets are dense and long-lived: 64-vCPU hosts packed
+        // with ~27 residents each, and churn touching well under 1% of
+        // hosts per epoch. Density amortizes the per-host calendar
+        // overhead across many resident walks; low churn keeps parked
+        // hosts parked.
+        vcpus_per_host: 64,
+        vms: (exec_hosts * 30).min(3_000_000),
+        churn_per_epoch: (exec_hosts / 256).max(4),
+        // Timer/diurnal classes only: the workloads the drowsy
+        // discipline targets. Bursty VMs have no timer (flip horizons of
+        // an hour or two), so hosts holding them step near-hourly.
+        class_mix: [0, 1, 0, 0],
+        ..fleet_cfg(exec_hosts, exec_shards, PlacementMode::Indexed)
+    };
+    println!(
+        "\nexecutor × stepping ({exec_hosts} hosts, {exec_shards} shard(s), \
+         {exec_horizon} h, drowsy-heavy mix)\n"
+    );
+    let grid = [
+        ("scoped+hourly", ExecutorMode::Scoped, SteppingMode::Hourly),
+        ("scoped+macro", ExecutorMode::Scoped, SteppingMode::Macro),
+        ("pool+hourly", ExecutorMode::Pool, SteppingMode::Hourly),
+        ("pool+macro", ExecutorMode::Pool, SteppingMode::Macro),
+    ];
+    let mut exec_table = TextTable::new(vec![
+        "mode",
+        "churn ms",
+        "advance ms",
+        "control ms",
+        "host-hours/s",
+        "speedup",
+    ]);
+    let mut exec_points = Vec::new();
+    let mut grid_outcomes = Vec::new();
+    for (name, executor, stepping) in grid {
+        let out = run_fleet(exec_cfg(executor, stepping));
+        grid_outcomes.push((name, out));
+    }
+    let reference_ms = grid_outcomes[0].1.epoch_ms();
+    let reference_digest = grid_outcomes[0].1.digest;
+    let mut grid_identity = true;
+    for (name, out) in &grid_outcomes {
+        let same = out.digest == reference_digest
+            && out.energy_kwh.to_bits() == grid_outcomes[0].1.energy_kwh.to_bits();
+        grid_identity &= same;
+        if !same {
+            eprintln!(
+                "ERROR: {name} diverged from scoped+hourly \
+                 ({:016x} vs {reference_digest:016x})",
+                out.digest
+            );
+        }
+        let wall_s = out.epoch_ms() / 1e3;
+        let hhps = out.host_hours() as f64 / wall_s.max(1e-9);
+        exec_table.row(vec![
+            name.to_string(),
+            format!("{:.1}", out.churn_ms),
+            format!("{:.1}", out.advance_ms),
+            format!("{:.1}", out.control_ms),
+            format!("{hhps:.0}"),
+            format!("{:.2}x", reference_ms / out.epoch_ms().max(1e-9)),
+        ]);
+        exec_points.push(
+            JsonObject::new()
+                .str("mode", name)
+                .num("churn_ms", out.churn_ms)
+                .num("advance_ms", out.advance_ms)
+                .num("control_ms", out.control_ms)
+                .num("host_hours_per_sec", hhps)
+                .str("digest", &format!("{:016x}", out.digest)),
+        );
+    }
+    shard_identity &= grid_identity;
+    let ms_of = |name: &str| {
+        grid_outcomes
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, o)| o.epoch_ms())
+            .unwrap()
+    };
+    let executor_speedup = ms_of("scoped+hourly") / ms_of("pool+hourly").max(1e-9);
+    let macro_speedup = ms_of("scoped+hourly") / ms_of("scoped+macro").max(1e-9);
+    let combined_speedup = ms_of("scoped+hourly") / ms_of("pool+macro").max(1e-9);
+    println!("{}", exec_table.render());
+    println!(
+        "pool vs scoped: {executor_speedup:.2}x — macro vs hourly: {macro_speedup:.2}x — \
+         combined: {combined_speedup:.2}x, bit-identical: {grid_identity}"
     );
 
     opts.write_bench_json(
@@ -337,10 +472,19 @@ fn main() {
             .int("sweep_workers", cores as u64)
             .array("fleet_points", &fleet_points)
             .bool("fleet_shard_identity", shard_identity)
+            .str("fleet_executor", &format!("{executor:?}"))
+            .str("fleet_stepping", &format!("{stepping:?}"))
             .int("index_speedup_hosts", speedup_hosts as u64)
-            .num("indexed_control_ms", indexed.control_ms)
-            .num("scan_control_ms", scan.control_ms)
-            .num("capacity_index_speedup", index_speedup),
+            .num("indexed_control_ms", indexed_ctl)
+            .num("scan_control_ms", scan_ctl)
+            .num("capacity_index_speedup", index_speedup)
+            .array("executor_grid", &exec_points)
+            .bool("executor_grid_identity", grid_identity)
+            .int("executor_grid_hosts", exec_hosts as u64)
+            .int("executor_grid_shards", exec_shards as u64)
+            .num("executor_speedup", executor_speedup)
+            .num("macro_speedup", macro_speedup)
+            .num("combined_speedup", combined_speedup),
     );
     if !shard_identity {
         std::process::exit(1);

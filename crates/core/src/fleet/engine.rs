@@ -8,7 +8,8 @@
 //!    byte-identical decisions (the property suite in `dds-placement`
 //!    pins this), only their control cost differs.
 //! 2. **Advance** (sharded): host slots split into contiguous ranges of
-//!    disjoint `&mut` columns, fanned over [`std::thread::scope`]. A
+//!    disjoint `&mut` columns, fanned over the persistent
+//!    [`WorkerPool`] (or `std::thread::scope`, see [`ExecutorMode`]). A
 //!    host's hour depends only on its own columns and the (read-only) VM
 //!    arena, so shards never race. Per-host energy accumulates into the
 //!    host's own `f64` cell in hour order — fleet totals are an ordered
@@ -23,15 +24,40 @@
 //! earliest **waking date** among its residents' timers; a drowsy host
 //! resumes on traffic or when its waking date arrives, paying the
 //! transition energy of a suspend/resume cycle.
+//!
+//! ## Quiescent-host macro-stepping
+//!
+//! In [`SteppingMode::Hourly`] every host is re-advanced every hour: the
+//! shard walks each host's resident list, recomputes demand and runs the
+//! power state machine — `O(hosts × residents)` per epoch even when the
+//! whole fleet is parked. [`SteppingMode::Macro`] exploits the
+//! *quiescence horizon*: after advancing a host at hour *h*, the engine
+//! computes `next_change` — the earliest hour at which the host's
+//! demanded vCPUs can change (the minimum [`next_flip_hour`](super::workload::next_flip_hour) over its
+//! residents, clamped by the waking date for drowsy hosts) — and does not
+//! touch the host again until that hour arrives or churn places/removes
+//! a resident. The skipped gap is settled lazily in closed form: `K`
+//! drowsy hours become one integer add (drowsy energy is accounted as
+//! `drowsy_hours × s3_w` at reporting time, so the closed form is
+//! *exact*), and `K` steady active hours replay the identical per-hour
+//! energy add in a tight loop, preserving the f64 accumulation grouping.
+//! Per shard, due hosts are tracked in a 256-bucket calendar wheel
+//! (every horizon is at most 169 hours out, so `hour % 256` addressing
+//! is collision-free): O(1) pushes, one bucket drained per simulated
+//! hour. Candidates for an hour are processed in ascending slot order,
+//! so transition lists — and therefore the merge — are ordered exactly
+//! as the hourly walk's. The FNV-1a state digest is bit-identical
+//! between hourly and macro stepping for any shard count and either
+//! executor, pinned by `tests/fleet_equivalence.rs`.
 
 use std::time::Instant;
 
 use dds_placement::CapacityIndex;
 use dds_power::HostPowerModel;
-use dds_sim_core::SimRng;
+use dds_sim_core::{SimRng, WorkerPool};
 
 use super::arena::{link, unlink, HostColumns, PowerState, VmArena, VmRef, NO_SLOT, NO_WAKE};
-use super::workload::{active_vcpus, next_active_hour, WorkloadClass};
+use super::workload::{active_vcpus, is_active, next_active_hour, next_idle_hour, WorkloadClass};
 
 /// How the engine answers "which host takes this VM?".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +67,31 @@ pub enum PlacementMode {
     Indexed,
     /// The reference O(hosts) column scan. Same decisions, linear cost.
     Scan,
+}
+
+/// How the advance phase fans shards over threads. Outcomes are
+/// bit-identical either way; only the dispatch cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// The persistent process-wide [`WorkerPool`]: workers are spawned
+    /// once and parked on a condvar between epochs, so dispatching an
+    /// epoch is a queue push + wakeup — zero thread spawns per epoch.
+    Pool,
+    /// A fresh `std::thread::scope` per epoch (the pre-pool reference
+    /// path): spawns and joins `shards` OS threads every simulated hour.
+    Scoped,
+}
+
+/// How hosts advance through quiet stretches. Outcomes are bit-identical
+/// either way; only the per-epoch cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteppingMode {
+    /// Event-horizon fast path: hosts are only re-advanced when their
+    /// `next_change` horizon arrives or churn touches them; skipped
+    /// hours are settled in closed form (see the module docs).
+    Macro,
+    /// The reference walk: every host re-advanced every hour.
+    Hourly,
 }
 
 /// Fleet simulation parameters.
@@ -62,11 +113,21 @@ pub struct FleetConfig {
     pub churn_per_epoch: usize,
     /// Placement implementation (outcome-identical either way).
     pub placement: PlacementMode,
+    /// Shard dispatch implementation (outcome-identical either way).
+    pub executor: ExecutorMode,
+    /// Host stepping discipline (outcome-identical either way).
+    pub stepping: SteppingMode,
+    /// Arrival weights per [`WorkloadClass`] (in `WorkloadClass::ALL`
+    /// order). `[1, 1, 1, 1]` reproduces the historical uniform draw
+    /// bit-for-bit; skewing towards office/nightly classes builds the
+    /// drowsy-heavy fleets where macro-stepping shines.
+    pub class_mix: [u32; 4],
 }
 
 impl FleetConfig {
     /// A config with the defaults the scalability bench sweeps around:
-    /// 16-vCPU hosts, single shard, indexed placement.
+    /// 16-vCPU hosts, single shard, indexed placement, pooled executor,
+    /// macro-stepping, uniform class mix.
     pub fn new(hosts: usize, vms: usize, horizon_hours: u64) -> Self {
         FleetConfig {
             hosts,
@@ -77,13 +138,16 @@ impl FleetConfig {
             seed: 42,
             churn_per_epoch: 32,
             placement: PlacementMode::Indexed,
+            executor: ExecutorMode::Pool,
+            stepping: SteppingMode::Macro,
+            class_mix: [1, 1, 1, 1],
         }
     }
 }
 
-/// Everything a finished fleet run reports. All fields except the two
-/// wall-clock timings are bit-identical across shard counts and
-/// placement modes.
+/// Everything a finished fleet run reports. All fields except the three
+/// wall-clock timings are bit-identical across shard counts, placement
+/// modes, executors and stepping disciplines.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
     /// Host count simulated.
@@ -114,7 +178,10 @@ pub struct FleetOutcome {
     pub energy_kwh: f64,
     /// FNV-1a fingerprint of the final fleet state and counters.
     pub digest: u64,
-    /// Wall-clock spent in churn + merge (the control epochs).
+    /// Wall-clock spent drawing and placing churn (arrivals/departures).
+    pub churn_ms: f64,
+    /// Wall-clock spent in the shard-ordered merge and capacity-index
+    /// maintenance (the control epochs minus churn).
     pub control_ms: f64,
     /// Wall-clock spent advancing host shards.
     pub advance_ms: f64,
@@ -124,6 +191,11 @@ impl FleetOutcome {
     /// Total host-hours simulated — the throughput numerator.
     pub fn host_hours(&self) -> u64 {
         self.hosts as u64 * self.horizon_hours
+    }
+
+    /// Total wall-clock attributed to the epoch loop, in milliseconds.
+    pub fn epoch_ms(&self) -> f64 {
+        self.churn_ms + self.control_ms + self.advance_ms
     }
 }
 
@@ -154,7 +226,6 @@ struct ShardCtx<'a> {
     vm_next: &'a [u32],
     idle_w: f64,
     peak_w: f64,
-    s3_w: f64,
     /// Energy of one suspend/resume cycle in Wh.
     cycle_wh: f64,
 }
@@ -169,6 +240,99 @@ struct ShardView<'a> {
     drowsy_hours: &'a mut [u64],
     wakes: &'a mut [u64],
     energy_wh: &'a mut [f64],
+}
+
+/// Calendar-wheel size in hours. Every `next_change` horizon is at most
+/// 169 hours out (the bursty forward-scan bound; office weekend gaps
+/// are ≤ 82 h, nightly timers ≤ 24 h), so `hour % WHEEL_SLOTS`
+/// addressing never collides and each simulated hour drains exactly one
+/// bucket.
+const WHEEL_SLOTS: usize = 256;
+
+/// A per-shard calendar wheel: bucket `t % WHEEL_SLOTS` holds the slots
+/// whose `next_change` horizon is hour `t`. Pushes are O(1); one bucket
+/// is drained per simulated hour. Entries superseded by churn touches
+/// go stale and are dropped at drain time (`next_change` is the truth).
+struct CalendarWheel {
+    buckets: Vec<Vec<u32>>,
+}
+
+impl CalendarWheel {
+    fn new() -> Self {
+        CalendarWheel {
+            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn push(&mut self, due: u64, hour: u64, slot: u32) {
+        debug_assert!(
+            due > hour && due - hour < WHEEL_SLOTS as u64,
+            "next_change horizon {due} out of wheel range at hour {hour}"
+        );
+        self.buckets[due as usize % WHEEL_SLOTS].push(slot);
+    }
+}
+
+/// Per-host resident aggregate keyed by the workload classes'
+/// **canonical phases**. [`is_active`] and the flip horizons are pure in
+/// `(class, phase)` — office activity collapses on `phase % 3`, nightly
+/// on `phase % 24`, always-on on nothing — so same-key residents are
+/// indistinguishable to the power state machine, and a host's demand and
+/// flip horizon reduce over a handful of groups instead of every
+/// resident. Both reductions are order-free (`u32` sum, `u64` min), so
+/// the group walk is bit-identical to the resident walk. Bursty phases
+/// do not collapse (the activity hash keys on the full phase); hosts
+/// holding bursty residents fall back to the naive walk.
+#[derive(Clone, Default)]
+struct HostAgg {
+    /// Always-on vCPUs (active every hour, no flip constraint).
+    always: u32,
+    /// Bursty resident count — any nonzero forces the naive walk.
+    bursty: u32,
+    /// Total nightly vCPUs, gating the 24-bucket walk.
+    nightly_total: u32,
+    /// Office vCPUs by window shift (`phase % 3`).
+    office: [u32; 3],
+    /// Nightly vCPUs by firing hour (`phase % 24`).
+    nightly: [u32; 24],
+}
+
+impl HostAgg {
+    fn add(&mut self, class: WorkloadClass, phase: u32, vcpus: u32) {
+        match class {
+            WorkloadClass::AlwaysOn => self.always += vcpus,
+            WorkloadClass::Office => self.office[(phase % 3) as usize] += vcpus,
+            WorkloadClass::Nightly => {
+                self.nightly[(phase % 24) as usize] += vcpus;
+                self.nightly_total += vcpus;
+            }
+            WorkloadClass::Bursty => self.bursty += 1,
+        }
+    }
+
+    fn sub(&mut self, class: WorkloadClass, phase: u32, vcpus: u32) {
+        match class {
+            WorkloadClass::AlwaysOn => self.always -= vcpus,
+            WorkloadClass::Office => self.office[(phase % 3) as usize] -= vcpus,
+            WorkloadClass::Nightly => {
+                self.nightly[(phase % 24) as usize] -= vcpus;
+                self.nightly_total -= vcpus;
+            }
+            WorkloadClass::Bursty => self.bursty -= 1,
+        }
+    }
+}
+
+/// One shard's disjoint window over the macro-stepping state: settle
+/// marks, `next_change` horizons, the shard's calendar wheel, the
+/// churn-touched slots that fall in its range, and the (read-only,
+/// full-fleet) class-phase aggregates.
+struct MacroShard<'a> {
+    settled: &'a mut [u64],
+    next_change: &'a mut [u64],
+    wheel: &'a mut CalendarWheel,
+    touched: &'a [u32],
+    agg: &'a [HostAgg],
 }
 
 /// Power transitions a shard reports for the shard-ordered merge.
@@ -199,7 +363,10 @@ fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
         match view.power[i] {
             PowerState::Active if demand == 0 => {
                 // Suspend at the top of the hour; record the earliest
-                // resident timer as the waking date.
+                // resident timer as the waking date. Drowsy energy is
+                // `drowsy_hours × s3_w`, accounted at reporting time —
+                // an exact integer accumulation, so macro-stepping can
+                // settle parked stretches in closed form.
                 let mut wake = NO_WAKE;
                 let mut cur = ctx.resident_head[slot as usize];
                 while cur != NO_SLOT {
@@ -210,7 +377,6 @@ fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
                 view.power[i] = PowerState::Drowsy;
                 view.waking_date[i] = wake;
                 view.drowsy_hours[i] += 1;
-                view.energy_wh[i] += ctx.s3_w;
                 out.suspended.push(slot);
             }
             PowerState::Active => {
@@ -231,11 +397,240 @@ fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
             }
             PowerState::Drowsy => {
                 view.drowsy_hours[i] += 1;
-                view.energy_wh[i] += ctx.s3_w;
             }
         }
     }
     out
+}
+
+/// Settles host `i` (shard-local index) up to — excluding — `to_hour`:
+/// replays the hours macro-stepping skipped, in closed form. Valid only
+/// while the host's quiescence invariant holds (no demand change, no
+/// state transition in the gap), which `next_change` guarantees.
+fn settle_host(
+    view: &mut ShardView<'_>,
+    settled: &mut [u64],
+    i: usize,
+    to_hour: u64,
+    idle_w: f64,
+    peak_w: f64,
+    cap: f64,
+) {
+    let from = settled[i];
+    if from >= to_hour {
+        return;
+    }
+    let gap = to_hour - from;
+    match view.power[i] {
+        // A parked stretch is a pure integer add: drowsy energy is
+        // derived from the hour count, so this is exactly the hourly
+        // walk's result.
+        PowerState::Drowsy => view.drowsy_hours[i] += gap,
+        PowerState::Active => {
+            // A steady active stretch repeats one identical per-hour
+            // energy add. Replay the adds so the f64 accumulation
+            // grouping matches the hourly walk bit-for-bit (a single
+            // `gap × per_hour` multiply would round differently).
+            view.active_hours[i] += gap;
+            let util = (view.demand[i] as f64 / cap).min(1.0);
+            let per_hour = idle_w + (peak_w - idle_w) * util;
+            for _ in 0..gap {
+                view.energy_wh[i] += per_hour;
+            }
+        }
+    }
+    settled[i] = to_hour;
+}
+
+/// Demand and earliest flip horizon of host `slot` at `ctx.hour`, in one
+/// fused pass. Hosts without bursty residents reduce over their
+/// [`HostAgg`] class-phase groups (a handful of `is_active` probes
+/// instead of one per resident); bursty hosts walk the resident list.
+/// Either path yields exactly the per-resident sums and minima.
+fn demand_and_flip(ctx: &ShardCtx<'_>, slot: u32, agg: &HostAgg) -> (u32, u64) {
+    if agg.bursty > 0 {
+        let mut demand = 0u32;
+        let mut min_flip = NO_WAKE;
+        let mut cur = ctx.resident_head[slot as usize];
+        while cur != NO_SLOT {
+            let v = cur as usize;
+            let (class, phase) = (ctx.vm_class[v], ctx.vm_phase[v]);
+            if is_active(class, phase, ctx.hour) {
+                demand += ctx.vm_vcpus[v];
+                min_flip = min_flip.min(next_idle_hour(class, phase, ctx.hour));
+            } else {
+                min_flip = min_flip.min(next_active_hour(class, phase, ctx.hour));
+            }
+            cur = ctx.vm_next[v];
+        }
+        return (demand, min_flip);
+    }
+    let mut demand = agg.always;
+    let mut min_flip = NO_WAKE;
+    for p in 0..3u32 {
+        let w = agg.office[p as usize];
+        if w == 0 {
+            continue;
+        }
+        if is_active(WorkloadClass::Office, p, ctx.hour) {
+            demand += w;
+            min_flip = min_flip.min(next_idle_hour(WorkloadClass::Office, p, ctx.hour));
+        } else {
+            min_flip = min_flip.min(next_active_hour(WorkloadClass::Office, p, ctx.hour));
+        }
+    }
+    if agg.nightly_total > 0 {
+        for t in 0..24u32 {
+            let w = agg.nightly[t as usize];
+            if w == 0 {
+                continue;
+            }
+            if is_active(WorkloadClass::Nightly, t, ctx.hour) {
+                demand += w;
+                min_flip = min_flip.min(next_idle_hour(WorkloadClass::Nightly, t, ctx.hour));
+            } else {
+                min_flip = min_flip.min(next_active_hour(WorkloadClass::Nightly, t, ctx.hour));
+            }
+        }
+    }
+    (demand, min_flip)
+}
+
+/// Advances host `i` (shard-local index) through hour `ctx.hour` with a
+/// fused group (or resident) walk via [`demand_and_flip`], reproducing
+/// [`advance_shard`]'s per-hour transitions exactly. Returns the host's
+/// new `next_change` horizon.
+fn advance_host_hour(
+    ctx: &ShardCtx<'_>,
+    view: &mut ShardView<'_>,
+    i: usize,
+    out: &mut ShardOutcome,
+    agg: &HostAgg,
+) -> u64 {
+    let slot = (view.base + i) as u32;
+    let (demand, min_flip) = demand_and_flip(ctx, slot, agg);
+    view.demand[i] = demand;
+    let cap = ctx.vcpu_capacity[slot as usize].max(1) as f64;
+    match view.power[i] {
+        PowerState::Active if demand == 0 => {
+            // All residents idle, so every flip is a `next_active`:
+            // `min_flip` IS the waking date the hourly walk records.
+            view.power[i] = PowerState::Drowsy;
+            view.waking_date[i] = min_flip;
+            view.drowsy_hours[i] += 1;
+            out.suspended.push(slot);
+            min_flip
+        }
+        PowerState::Active => {
+            view.active_hours[i] += 1;
+            let util = (demand as f64 / cap).min(1.0);
+            view.energy_wh[i] += ctx.idle_w + (ctx.peak_w - ctx.idle_w) * util;
+            min_flip
+        }
+        PowerState::Drowsy if demand > 0 || ctx.hour >= view.waking_date[i] => {
+            view.power[i] = PowerState::Active;
+            view.waking_date[i] = NO_WAKE;
+            view.wakes[i] += 1;
+            view.active_hours[i] += 1;
+            let util = (demand as f64 / cap).min(1.0);
+            view.energy_wh[i] += ctx.cycle_wh + ctx.idle_w + (ctx.peak_w - ctx.idle_w) * util;
+            out.woken.push(slot);
+            if demand == 0 {
+                // A stale-timer wake: the host sits empty-handed and
+                // will suspend again next hour.
+                ctx.hour + 1
+            } else {
+                min_flip
+            }
+        }
+        PowerState::Drowsy => {
+            view.drowsy_hours[i] += 1;
+            view.waking_date[i].min(min_flip)
+        }
+    }
+}
+
+/// The macro-stepping advance: settle and re-advance only the hosts due
+/// this hour (one drained wheel bucket) or touched by churn; everyone
+/// else stays on their quiescence horizon. Candidates are processed in
+/// ascending slot order so the reported transitions match the hourly
+/// walk's ordering.
+fn advance_shard_macro(
+    ctx: &ShardCtx<'_>,
+    view: &mut ShardView<'_>,
+    m: MacroShard<'_>,
+) -> ShardOutcome {
+    let mut out = ShardOutcome {
+        suspended: Vec::new(),
+        woken: Vec::new(),
+    };
+    // Entries superseded by a churn touch (which clamps `next_change`
+    // and reports through `touched`) are stale; duplicates from a
+    // touch-then-repush cycle land in the same bucket and dedup below.
+    let mut due = std::mem::take(&mut m.wheel.buckets[ctx.hour as usize % WHEEL_SLOTS]);
+    due.retain(|&slot| m.next_change[slot as usize - view.base] == ctx.hour);
+    due.extend_from_slice(m.touched);
+    due.sort_unstable();
+    due.dedup();
+    for &slot in &due {
+        let i = slot as usize - view.base;
+        if m.next_change[i] > ctx.hour {
+            // A touched host whose recomputed horizon already moved past
+            // this hour (possible when churn touches it twice).
+            continue;
+        }
+        debug_assert!(m.settled[i] <= ctx.hour, "host settled past the epoch");
+        let cap = ctx.vcpu_capacity[slot as usize].max(1) as f64;
+        settle_host(view, m.settled, i, ctx.hour, ctx.idle_w, ctx.peak_w, cap);
+        let nc = advance_host_hour(ctx, view, i, &mut out, &m.agg[slot as usize]);
+        m.settled[i] = ctx.hour + 1;
+        m.next_change[i] = nc;
+        if nc != NO_WAKE {
+            m.wheel.push(nc, ctx.hour, slot);
+        }
+    }
+    out
+}
+
+/// Lazily-settled per-host horizons for [`SteppingMode::Macro`].
+struct MacroState {
+    /// Next hour each host still has to simulate (hours before it are
+    /// fully accounted).
+    settled: Vec<u64>,
+    /// Earliest hour each host's demand can change; hosts are only
+    /// re-advanced at this hour or on churn.
+    next_change: Vec<u64>,
+    /// Per-shard calendar wheel of due hosts.
+    wheels: Vec<CalendarWheel>,
+    /// Hosts touched by churn since the last advance (unsorted, may
+    /// contain duplicates until the advance canonicalizes it).
+    touched: Vec<u32>,
+    /// Per-host class-phase aggregates, maintained on admit/evict.
+    agg: Vec<HostAgg>,
+}
+
+impl MacroState {
+    /// Every host starts due at hour 0, mirroring the hourly walk's
+    /// full first epoch.
+    fn new(hosts: usize, shards: usize) -> Self {
+        let per = hosts.div_ceil(shards).max(1);
+        let wheels: Vec<CalendarWheel> = (0..shards)
+            .map(|s| {
+                let lo = s * per;
+                let hi = ((s + 1) * per).min(hosts);
+                let mut wheel = CalendarWheel::new();
+                wheel.buckets[0] = (lo..hi).map(|slot| slot as u32).collect();
+                wheel
+            })
+            .collect();
+        MacroState {
+            settled: vec![0; hosts],
+            next_change: vec![0; hosts],
+            wheels,
+            touched: Vec::new(),
+            agg: vec![HostAgg::default(); hosts],
+        }
+    }
 }
 
 /// The sharded struct-of-arrays fleet simulation.
@@ -249,6 +644,9 @@ pub struct FleetSim {
     /// Index over hosts in S3 (`Indexed` mode only).
     asleep: Option<CapacityIndex>,
     rng: SimRng,
+    /// Next hour to simulate (hours stepped so far).
+    hour: u64,
+    mac: Option<MacroState>,
     placements: u64,
     rejections: u64,
     departures: u64,
@@ -258,13 +656,22 @@ pub struct FleetSim {
     peak_w: f64,
     s3_w: f64,
     cycle_wh: f64,
+    churn_ns: u128,
     control_ns: u128,
     advance_ns: u128,
+    /// Cached state digest, invalidated on any mutation.
+    digest_cache: Option<u64>,
+    /// Full digest recomputations (regression-tested cache behaviour).
+    digest_computes: u64,
 }
 
 impl FleetSim {
     /// Builds the fleet and admits the initial VM population.
     pub fn new(cfg: FleetConfig) -> Self {
+        assert!(
+            cfg.class_mix.iter().any(|&w| w > 0),
+            "class_mix needs at least one positive weight"
+        );
         let model = HostPowerModel::paper_default();
         let cycle_secs =
             (model.timings.suspend_latency + model.timings.resume_normal).as_secs_f64();
@@ -287,6 +694,8 @@ impl FleetSim {
             awake,
             asleep,
             rng: SimRng::new(cfg.seed).stream("fleet"),
+            hour: 0,
+            mac: None,
             placements: 0,
             rejections: 0,
             departures: 0,
@@ -296,17 +705,30 @@ impl FleetSim {
             peak_w: model.peak_watts,
             s3_w: model.suspended_watts,
             cycle_wh: model.transition_watts * cycle_secs / 3600.0,
+            churn_ns: 0,
             control_ns: 0,
             advance_ns: 0,
+            digest_cache: None,
+            digest_computes: 0,
             cfg,
         };
+        if sim.cfg.stepping == SteppingMode::Macro {
+            sim.mac = Some(MacroState::new(sim.cfg.hosts, sim.effective_shards()));
+        }
         for _ in 0..sim.cfg.vms {
             sim.arrival();
+        }
+        // Every host is already due at hour 0; the initial placements
+        // need no extra touch records.
+        if let Some(mac) = &mut sim.mac {
+            mac.touched.clear();
         }
         sim
     }
 
-    /// Final host columns (inspection and digests).
+    /// Final host columns (inspection and digests). In macro-stepping
+    /// mode call [`FleetSim::sync`] first so lazily-settled counters are
+    /// up to date.
     pub fn columns(&self) -> &HostColumns {
         &self.hosts
     }
@@ -336,9 +758,19 @@ impl FleetSim {
         self.rejections
     }
 
+    /// Total energy host `slot` has drawn so far, in watt-hours: the
+    /// irregular (active + transition) accumulation plus the
+    /// exactly-counted drowsy hours. Call [`FleetSim::sync`] first in
+    /// macro-stepping mode.
+    pub fn host_energy_wh(&self, slot: u32) -> f64 {
+        self.hosts.energy_wh[slot as usize]
+            + self.hosts.drowsy_hours[slot as usize] as f64 * self.s3_w
+    }
+
     /// Places and links one VM; returns its ref, or `None` when no host
     /// fits. Exercised by churn and directly by tests.
     pub fn admit_vm(&mut self, class: WorkloadClass, phase: u32, vcpus: u32) -> Option<VmRef> {
+        self.digest_cache = None;
         let host = self.place(vcpus)?;
         let r = self.vms.alloc(class, phase, vcpus);
         link(&mut self.hosts, &mut self.vms, host, r);
@@ -348,9 +780,23 @@ impl FleetSim {
         if let Some(ix) = &mut self.asleep {
             ix.admit(host, vcpus);
         }
+        if let Some(mac) = &mut self.mac {
+            mac.agg[host as usize].add(class, phase, vcpus);
+        }
+        self.touch(host);
         self.live.push(r);
         self.placements += 1;
         Some(r)
+    }
+
+    /// Records a churn touch: the host must be re-evaluated at the
+    /// current hour, whatever its horizon said.
+    fn touch(&mut self, host: u32) {
+        if let Some(mac) = &mut self.mac {
+            let h = host as usize;
+            mac.next_change[h] = mac.next_change[h].min(self.hour);
+            mac.touched.push(host);
+        }
     }
 
     /// Best-fit among awake hosts, falling back to best-fit among drowsy
@@ -381,9 +827,20 @@ impl FleetSim {
         }
     }
 
-    /// One arrival drawn from the churn stream.
+    /// One arrival drawn from the churn stream, class-weighted by
+    /// `class_mix` (the default uniform mix reproduces the historical
+    /// draw bit-for-bit).
     fn arrival(&mut self) {
-        let class = WorkloadClass::ALL[self.rng.below(4) as usize];
+        let total: u64 = self.cfg.class_mix.iter().map(|&w| w as u64).sum();
+        let mut draw = self.rng.below(total);
+        let mut class = WorkloadClass::AlwaysOn;
+        for (k, &w) in self.cfg.class_mix.iter().enumerate() {
+            if draw < w as u64 {
+                class = WorkloadClass::ALL[k];
+                break;
+            }
+            draw -= w as u64;
+        }
         let phase = self.rng.below(1 << 16) as u32;
         let vcpus = 1u32 << self.rng.below(3); // 1, 2 or 4 vCPUs
         if self.admit_vm(class, phase, vcpus).is_none() {
@@ -396,9 +853,12 @@ impl FleetSim {
         if self.live.is_empty() {
             return;
         }
+        self.digest_cache = None;
         let pick = self.rng.below(self.live.len() as u64) as usize;
         let r = self.live.swap_remove(pick);
         let vcpus = self.vms.vcpus[r.slot as usize];
+        let class = self.vms.class[r.slot as usize];
+        let phase = self.vms.phase[r.slot as usize];
         let host = unlink(&mut self.hosts, &mut self.vms, r);
         self.vms.release(r);
         if let Some(ix) = &mut self.awake {
@@ -407,6 +867,10 @@ impl FleetSim {
         if let Some(ix) = &mut self.asleep {
             ix.evict(host, vcpus);
         }
+        if let Some(mac) = &mut self.mac {
+            mac.agg[host as usize].sub(class, phase, vcpus);
+        }
+        self.touch(host);
         self.departures += 1;
     }
 
@@ -422,8 +886,15 @@ impl FleetSim {
         want.clamp(1, self.hosts.len().max(1))
     }
 
-    /// One epoch: churn, sharded advance, shard-ordered merge.
+    /// One epoch: churn, sharded advance, shard-ordered merge. Hours
+    /// must advance contiguously from 0 (macro-stepping settles gaps
+    /// against this clock).
     pub fn step_hour(&mut self, hour: u64) {
+        debug_assert_eq!(
+            hour, self.hour,
+            "fleet hours must advance contiguously from 0"
+        );
+        self.digest_cache = None;
         let t0 = Instant::now();
         let departures = self.cfg.churn_per_epoch.min(self.live.len());
         for _ in 0..departures {
@@ -432,7 +903,7 @@ impl FleetSim {
         for _ in 0..self.cfg.churn_per_epoch {
             self.arrival();
         }
-        self.control_ns += t0.elapsed().as_nanos();
+        self.churn_ns += t0.elapsed().as_nanos();
 
         let t1 = Instant::now();
         let outcomes = self.advance_hosts(hour);
@@ -454,12 +925,18 @@ impl FleetSim {
             }
         }
         self.control_ns += t2.elapsed().as_nanos();
+        self.hour = hour + 1;
     }
 
-    /// Fans the host columns over `effective_shards()` scoped threads.
+    /// Fans the host columns over `effective_shards()` workers — the
+    /// persistent pool or a fresh thread scope, per the config.
     fn advance_hosts(&mut self, hour: u64) -> Vec<ShardOutcome> {
         let shards = self.effective_shards();
         let hosts = self.hosts.len();
+        if let Some(mac) = &mut self.mac {
+            mac.touched.sort_unstable();
+            mac.touched.dedup();
+        }
         let ctx = ShardCtx {
             hour,
             vcpu_capacity: &self.hosts.vcpu_capacity,
@@ -470,12 +947,11 @@ impl FleetSim {
             vm_next: &self.vms.next,
             idle_w: self.idle_w,
             peak_w: self.peak_w,
-            s3_w: self.s3_w,
             cycle_wh: self.cycle_wh,
         };
         // Carve the mutable columns into disjoint contiguous windows.
         let per = hosts.div_ceil(shards).max(1);
-        let mut views = Vec::with_capacity(shards);
+        let mut tasks: Vec<(ShardView<'_>, Option<MacroShard<'_>>)> = Vec::with_capacity(shards);
         let mut power = self.hosts.power.as_mut_slice();
         let mut waking_date = self.hosts.waking_date.as_mut_slice();
         let mut demand = self.hosts.demand.as_mut_slice();
@@ -483,6 +959,16 @@ impl FleetSim {
         let mut drowsy_hours = self.hosts.drowsy_hours.as_mut_slice();
         let mut wakes = self.hosts.wakes.as_mut_slice();
         let mut energy_wh = self.hosts.energy_wh.as_mut_slice();
+        let (mut settled, mut next_change, mut wheels, agg, touched) = match &mut self.mac {
+            Some(mac) => (
+                Some(mac.settled.as_mut_slice()),
+                Some(mac.next_change.as_mut_slice()),
+                Some(mac.wheels.iter_mut()),
+                mac.agg.as_slice(),
+                mac.touched.as_slice(),
+            ),
+            None => (None, None, None, &[][..], &[][..]),
+        };
         let mut base = 0;
         while !power.is_empty() {
             let k = per.min(power.len());
@@ -500,7 +986,7 @@ impl FleetSim {
             wakes = rest;
             let (e, rest) = energy_wh.split_at_mut(k);
             energy_wh = rest;
-            views.push(ShardView {
+            let view = ShardView {
                 base,
                 power: p,
                 waking_date: w,
@@ -509,30 +995,122 @@ impl FleetSim {
                 drowsy_hours: s,
                 wakes: wk,
                 energy_wh: e,
-            });
+            };
+            let mac_shard = match (&mut settled, &mut next_change, &mut wheels) {
+                (Some(se), Some(nc), Some(wh)) => {
+                    let (se_here, se_rest) = std::mem::take(se).split_at_mut(k);
+                    *se = se_rest;
+                    let (nc_here, nc_rest) = std::mem::take(nc).split_at_mut(k);
+                    *nc = nc_rest;
+                    // Touched slots landing in this shard's range.
+                    let lo = touched.partition_point(|&t| (t as usize) < base);
+                    let hi = touched.partition_point(|&t| (t as usize) < base + k);
+                    Some(MacroShard {
+                        settled: se_here,
+                        next_change: nc_here,
+                        wheel: wh.next().expect("one calendar wheel per shard"),
+                        touched: &touched[lo..hi],
+                        agg,
+                    })
+                }
+                _ => None,
+            };
+            tasks.push((view, mac_shard));
             base += k;
         }
-        if views.len() <= 1 {
-            return views.iter_mut().map(|v| advance_shard(&ctx, v)).collect();
+        let run = |(mut view, mac): (ShardView<'_>, Option<MacroShard<'_>>)| match mac {
+            None => advance_shard(&ctx, &mut view),
+            Some(m) => advance_shard_macro(&ctx, &mut view, m),
+        };
+        if tasks.len() <= 1 {
+            let outcomes = tasks.into_iter().map(run).collect();
+            if let Some(mac) = &mut self.mac {
+                mac.touched.clear();
+            }
+            return outcomes;
         }
-        std::thread::scope(|scope| {
-            let ctx = &ctx;
-            let handles: Vec<_> = views
-                .into_iter()
-                .map(|mut view| scope.spawn(move || advance_shard(ctx, &mut view)))
-                .collect();
-            // Joining in spawn order keeps the merge shard-ordered.
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fleet shard panicked"))
-                .collect()
-        })
+        let outcomes = match self.cfg.executor {
+            ExecutorMode::Scoped => std::thread::scope(|scope| {
+                let run = &run;
+                let handles: Vec<_> = tasks
+                    .into_iter()
+                    .map(|task| scope.spawn(move || run(task)))
+                    .collect();
+                // Joining in spawn order keeps the merge shard-ordered.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet shard panicked"))
+                    .collect()
+            }),
+            ExecutorMode::Pool => {
+                // Submission order IS shard order: the pool returns
+                // results in submission order, whichever worker ran
+                // each shard.
+                let run = &run;
+                let width = tasks.len();
+                WorkerPool::global().run_ordered(
+                    width,
+                    tasks.into_iter().map(|task| move || run(task)).collect(),
+                )
+            }
+        };
+        if let Some(mac) = &mut self.mac {
+            mac.touched.clear();
+        }
+        outcomes
+    }
+
+    /// Settles every host's lazily-skipped hours up to the current
+    /// simulation clock. A no-op in hourly mode (or when already
+    /// settled); called automatically by [`FleetSim::outcome`] and
+    /// [`FleetSim::digest`].
+    pub fn sync(&mut self) {
+        let hour = self.hour;
+        let Some(mac) = &mut self.mac else {
+            return;
+        };
+        let mut view = ShardView {
+            base: 0,
+            power: &mut self.hosts.power,
+            waking_date: &mut self.hosts.waking_date,
+            demand: &mut self.hosts.demand,
+            active_hours: &mut self.hosts.active_hours,
+            drowsy_hours: &mut self.hosts.drowsy_hours,
+            wakes: &mut self.hosts.wakes,
+            energy_wh: &mut self.hosts.energy_wh,
+        };
+        for i in 0..self.hosts.vcpu_capacity.len() {
+            let cap = self.hosts.vcpu_capacity[i].max(1) as f64;
+            settle_host(
+                &mut view,
+                &mut mac.settled,
+                i,
+                hour,
+                self.idle_w,
+                self.peak_w,
+                cap,
+            );
+        }
     }
 
     /// FNV-1a fingerprint of the fleet state: every host column plus the
-    /// global counters. Bit-identical across shard counts and placement
-    /// modes, by construction.
-    pub fn digest(&self) -> u64 {
+    /// global counters. Bit-identical across shard counts, placement
+    /// modes, executors and stepping disciplines, by construction. The
+    /// digest is cached between mutations, so repeated calls (and
+    /// repeated [`FleetSim::outcome`] calls) cost O(1).
+    pub fn digest(&mut self) -> u64 {
+        self.sync();
+        if let Some(d) = self.digest_cache {
+            return d;
+        }
+        let d = self.compute_digest();
+        self.digest_computes += 1;
+        self.digest_cache = Some(d);
+        d
+    }
+
+    /// The uncached O(hosts) digest pass.
+    fn compute_digest(&self) -> u64 {
         let mut fnv = Fnv::new();
         for i in 0..self.hosts.len() {
             fnv.add(self.hosts.power[i] as u64);
@@ -563,12 +1141,13 @@ impl FleetSim {
     }
 
     /// The outcome for the state so far (ordered reduces over columns).
-    pub fn outcome(&self) -> FleetOutcome {
+    pub fn outcome(&mut self) -> FleetOutcome {
+        self.sync();
         let mut energy_wh = 0.0;
         let mut active = 0u64;
         let mut drowsy = 0u64;
         for i in 0..self.hosts.len() {
-            energy_wh += self.hosts.energy_wh[i];
+            energy_wh += self.hosts.energy_wh[i] + self.hosts.drowsy_hours[i] as f64 * self.s3_w;
             active += self.hosts.active_hours[i];
             drowsy += self.hosts.drowsy_hours[i];
         }
@@ -587,6 +1166,7 @@ impl FleetSim {
             drowsy_host_hours: drowsy,
             energy_kwh: energy_wh / 1000.0,
             digest: self.digest(),
+            churn_ms: self.churn_ns as f64 / 1e6,
             control_ms: self.control_ns as f64 / 1e6,
             advance_ms: self.advance_ns as f64 / 1e6,
         }
@@ -647,6 +1227,30 @@ mod tests {
     }
 
     #[test]
+    fn stepping_and_executor_grid_is_bit_identical() {
+        // The reference walk: hourly stepping, scoped threads, 1 shard.
+        let reference = run_fleet(FleetConfig {
+            stepping: SteppingMode::Hourly,
+            executor: ExecutorMode::Scoped,
+            shards: 1,
+            ..base_cfg()
+        });
+        for stepping in [SteppingMode::Hourly, SteppingMode::Macro] {
+            for executor in [ExecutorMode::Scoped, ExecutorMode::Pool] {
+                for shards in [1, 3, 7] {
+                    let other = run_fleet(FleetConfig {
+                        stepping,
+                        executor,
+                        shards,
+                        ..base_cfg()
+                    });
+                    assert_same_bits(&reference, &other);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn indexed_and_scan_placement_are_bit_identical() {
         let indexed = run_fleet(FleetConfig {
             placement: PlacementMode::Indexed,
@@ -703,6 +1307,12 @@ mod tests {
         for hour in 0..48 {
             sim.step_hour(hour);
         }
+        sim.sync();
+        // Energy: host 0 paid two wake cycles on top of its S3 + active
+        // hours; empty hosts paid pure S3.
+        let model = HostPowerModel::paper_default();
+        assert!((sim.host_energy_wh(1) - 48.0 * model.suspended_watts).abs() < 1e-9);
+        assert!(sim.host_energy_wh(0) > sim.host_energy_wh(1));
         let cols = sim.columns();
         // Host 0: suspended at hour 0 with waking date 5, woke at hours 5
         // and 29, suspended again after each nightly burst.
@@ -716,11 +1326,6 @@ mod tests {
             assert_eq!(cols.drowsy_hours[h], 48);
             assert_eq!(cols.waking_date[h], NO_WAKE);
         }
-        // Energy: host 0 paid two wake cycles on top of its S3 + active
-        // hours; empty hosts paid pure S3.
-        let model = HostPowerModel::paper_default();
-        assert!((cols.energy_wh[1] - 48.0 * model.suspended_watts).abs() < 1e-9);
-        assert!(cols.energy_wh[0] > cols.energy_wh[1]);
     }
 
     #[test]
@@ -733,5 +1338,87 @@ mod tests {
         assert_eq!(sim.placements() + sim.rejections(), 10);
         assert!(sim.rejections() > 0, "a 4-vCPU fleet cannot take 10 VMs");
         assert!(sim.columns().vcpu_used[0] <= 4);
+    }
+
+    #[test]
+    fn effective_shards_clamps_to_fleet_size() {
+        let cfg = |hosts, shards| FleetConfig {
+            shards,
+            churn_per_epoch: 0,
+            ..FleetConfig::new(hosts, 0, 0)
+        };
+        // Degenerate fleets still report one (serial) shard and step
+        // without panicking.
+        for shards in [0, 5] {
+            let mut empty = FleetSim::new(cfg(0, shards));
+            assert_eq!(empty.effective_shards(), 1);
+            for hour in 0..3 {
+                empty.step_hour(hour);
+            }
+            assert_eq!(empty.outcome().live_vms, 0);
+        }
+        let mut single = FleetSim::new(cfg(1, 0));
+        assert_eq!(single.effective_shards(), 1);
+        for hour in 0..3 {
+            single.step_hour(hour);
+        }
+        assert_eq!(single.outcome().drowsy_host_hours, 3);
+        // More shards than hosts clamps down; fewer passes through.
+        assert_eq!(FleetSim::new(cfg(2, 5)).effective_shards(), 2);
+        assert_eq!(FleetSim::new(cfg(12, 3)).effective_shards(), 3);
+        assert!(FleetSim::new(cfg(12, 0)).effective_shards() >= 1);
+    }
+
+    #[test]
+    fn digest_is_cached_between_mutations() {
+        let mut sim = FleetSim::new(base_cfg());
+        for hour in 0..10 {
+            sim.step_hour(hour);
+        }
+        let d1 = sim.digest();
+        let computes = sim.digest_computes;
+        // Repeated digests and outcomes reuse the cache...
+        assert_eq!(sim.digest(), d1);
+        let o1 = sim.outcome();
+        let o2 = sim.outcome();
+        assert_eq!(o1.digest, d1);
+        assert_eq!(o2.digest, d1);
+        assert_eq!(sim.digest_computes, computes, "cached digest recomputed");
+        // ...and still match a from-scratch pass over the columns.
+        assert_eq!(sim.compute_digest(), d1);
+        // Any mutation invalidates: another epoch...
+        sim.step_hour(10);
+        let d2 = sim.digest();
+        assert_eq!(sim.digest_computes, computes + 1);
+        // ...or direct churn.
+        sim.admit_vm(WorkloadClass::AlwaysOn, 0, 1).expect("fits");
+        let d3 = sim.digest();
+        assert_ne!(d2, d3, "admitting a VM must change the digest");
+        assert_eq!(sim.digest_computes, computes + 2);
+        assert_eq!(sim.compute_digest(), d3);
+    }
+
+    #[test]
+    fn skewed_class_mix_builds_a_drowsy_heavy_fleet() {
+        // All-nightly arrivals: hosts sleep ~23 hours a day.
+        let nightly = run_fleet(FleetConfig {
+            class_mix: [0, 0, 1, 0],
+            ..base_cfg()
+        });
+        assert!(nightly.drowsy_host_hours > 3 * nightly.active_host_hours);
+        // The skewed mix is still bit-identical across stepping modes.
+        let hourly = run_fleet(FleetConfig {
+            class_mix: [0, 0, 1, 0],
+            stepping: SteppingMode::Hourly,
+            ..base_cfg()
+        });
+        assert_same_bits(&nightly, &hourly);
+        // An always-on fleet keeps every occupied host awake; only the
+        // handful of hosts best-fit never fills can park.
+        let busy = run_fleet(FleetConfig {
+            class_mix: [1, 0, 0, 0],
+            ..base_cfg()
+        });
+        assert!(busy.active_host_hours > 5 * busy.drowsy_host_hours);
     }
 }

@@ -18,13 +18,17 @@
 //!   any hour is a pure function of `(class, phase, hour)`, so a million
 //!   VMs cost bytes each, not hourly traces.
 //! * [`engine`] — the sharded simulation loop: each epoch, host shards
-//!   advance independently over `std::thread::scope` (a host's hour
-//!   depends only on its own columns and residents), then a
-//!   deterministic, shard-ordered merge applies fleet-level effects
-//!   (capacity-index park/unpark). Placement decisions run through the
-//!   incremental [`CapacityIndex`](dds_placement::CapacityIndex) or the
-//!   reference linear scan — byte-identical outcomes, an order of
-//!   magnitude apart in control-epoch cost.
+//!   advance independently over the persistent
+//!   [`WorkerPool`](dds_sim_core::WorkerPool) (or `std::thread::scope`;
+//!   a host's hour depends only on its own columns and residents), then
+//!   a deterministic, shard-ordered merge applies fleet-level effects
+//!   (capacity-index park/unpark). Quiescent hosts macro-step: each host
+//!   carries a `next_change` horizon and parked/steady stretches settle
+//!   in closed form, so an epoch costs O(hosts due), not O(hosts).
+//!   Placement decisions run through the incremental
+//!   [`CapacityIndex`](dds_placement::CapacityIndex) or the reference
+//!   linear scan — byte-identical outcomes, an order of magnitude apart
+//!   in control-epoch cost.
 //!
 //! The determinism discipline is the same one `run_sweep` and the QoS
 //! replay layer already prove at experiment granularity, pushed down into
@@ -38,5 +42,7 @@ pub mod engine;
 pub mod workload;
 
 pub use arena::{HostColumns, PowerState, VmArena, VmRef};
-pub use engine::{run_fleet, FleetConfig, FleetOutcome, FleetSim, PlacementMode};
+pub use engine::{
+    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetSim, PlacementMode, SteppingMode,
+};
 pub use workload::WorkloadClass;

@@ -116,6 +116,45 @@ pub fn next_active_hour(class: WorkloadClass, phase: u32, hour: u64) -> u64 {
     }
 }
 
+/// The next hour strictly after `hour` at which the VM is **idle** — the
+/// closing edge of its current activity burst. `u64::MAX` for VMs that
+/// never idle (always-on services). Bursty VMs scan forward like
+/// [`next_active_hour`], bounded by the same one-week window (activity is
+/// ~25 % per hour, so an idle hour is found almost immediately).
+pub fn next_idle_hour(class: WorkloadClass, phase: u32, hour: u64) -> u64 {
+    match class {
+        WorkloadClass::AlwaysOn => u64::MAX,
+        WorkloadClass::Nightly => hour + 1, // bursts are exactly one hour
+        WorkloadClass::Office => {
+            // Office windows are contiguous within a weekday, so the
+            // next idle hour is either the very next hour (already
+            // outside the window) or the window's closing edge.
+            let h = hour + 1;
+            if is_active(WorkloadClass::Office, phase, h) {
+                let (_, end) = office_window(phase);
+                (h / 24) * 24 + end
+            } else {
+                h
+            }
+        }
+        WorkloadClass::Bursty => (hour + 1..hour + 169)
+            .find(|&h| !is_active(WorkloadClass::Bursty, phase, h))
+            .unwrap_or(hour + 169),
+    }
+}
+
+/// The next hour strictly after `hour` at which the VM's activity
+/// *changes* (active → idle or idle → active) — the demand horizon the
+/// macro-stepping fast path relies on: a host's demanded vCPUs cannot
+/// change before the earliest flip among its residents.
+pub fn next_flip_hour(class: WorkloadClass, phase: u32, hour: u64) -> u64 {
+    if is_active(class, phase, hour) {
+        next_idle_hour(class, phase, hour)
+    } else {
+        next_active_hour(class, phase, hour)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +214,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn next_flip_hour_is_the_first_activity_change_after_now() {
+        // The closed-form demand horizons must agree with a brute-force
+        // scan: `next_flip_hour` is the earliest hour whose activity
+        // differs from the current hour's — the invariant macro-stepping
+        // rests on.
+        for class in WorkloadClass::ALL {
+            for phase in [0u32, 1, 2, 5, 23, 97] {
+                for hour in 0..500 {
+                    let now = is_active(class, phase, hour);
+                    let flip = next_flip_hour(class, phase, hour);
+                    let brute =
+                        (hour + 1..hour + 1 + 24 * 14).find(|&h| is_active(class, phase, h) != now);
+                    match brute {
+                        Some(b) => {
+                            assert_eq!(
+                                flip, b,
+                                "{class:?} phase {phase} hour {hour}: flip {flip} vs brute {b}"
+                            );
+                            assert!(flip > hour);
+                        }
+                        None => assert!(
+                            flip > hour + 24 * 13,
+                            "{class:?} phase {phase} hour {hour}: no flip in two weeks \
+                             but horizon {flip} is near"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_idle_hour_closes_every_burst() {
+        // Office: phase 0 is 07:00..17:00 on weekdays.
+        assert_eq!(next_idle_hour(WorkloadClass::Office, 0, 7), 17);
+        assert_eq!(next_idle_hour(WorkloadClass::Office, 0, 16), 17);
+        // From an idle hour the next hour is idle too (window not open).
+        assert_eq!(next_idle_hour(WorkloadClass::Office, 0, 20), 21);
+        // Nightly bursts last exactly one hour.
+        assert_eq!(next_idle_hour(WorkloadClass::Nightly, 26, 2), 3);
+        // Always-on never idles.
+        assert_eq!(next_idle_hour(WorkloadClass::AlwaysOn, 0, 5), u64::MAX);
+        assert_eq!(next_flip_hour(WorkloadClass::AlwaysOn, 0, 5), u64::MAX);
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub use datacenter::{
     AdmitError, Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig,
     WakeRecord,
 };
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome, FleetSim, PlacementMode};
+pub use fleet::{
+    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetSim, PlacementMode, SteppingMode,
+};
 pub use registry::{PolicyEntry, PolicyRegistry};
 pub use spec::{HostSpec, VmMemberSpec, VmSpec, WorkloadKind};
 pub use sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};

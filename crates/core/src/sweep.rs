@@ -2,8 +2,9 @@
 //!
 //! A sweep is a list of independent simulation points (policy ×
 //! LLMI-fraction × seed). Each point is a full [`Datacenter`] run — CPU
-//! bound, zero shared state — so the runner fans the points out over a
-//! scoped thread pool and returns the outcomes **in input order**,
+//! bound, zero shared state — so the runner fans the points out over the
+//! persistent process-wide [`WorkerPool`] (workers spawned once, parked
+//! between sweeps) and returns the outcomes **in input order**,
 //! regardless of which worker finished first. Determinism is preserved:
 //! every point derives all randomness from its own seed, so
 //! `run_sweep(points, 1)` and `run_sweep(points, N)` are bit-identical.
@@ -37,8 +38,7 @@
 
 use crate::cluster::{run_cluster_policy_with, ClusterOutcome, ClusterSpec};
 use crate::registry::PolicyRegistry;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use dds_sim_core::WorkerPool;
 
 /// One simulation point of a sweep.
 #[derive(Debug, Clone)]
@@ -80,12 +80,13 @@ pub fn run_sweep(points: &[SweepPoint], threads: usize) -> Vec<SweepOutcome> {
 }
 
 /// Runs every point with policy names resolved in `registry`, fanning
-/// out over `threads` workers (0 = one per available core), and returns
-/// outcomes in the same order as `points`.
+/// out over `threads` workers of the persistent [`WorkerPool`] (0 = one
+/// per available core), and returns outcomes in the same order as
+/// `points`.
 ///
 /// Panics on unknown policy names (like
 /// [`run_cluster_policy`](crate::cluster::run_cluster_policy)); a panic
-/// in any worker propagates out of the scope.
+/// in any worker propagates out of the submitting call.
 pub fn run_sweep_with(
     registry: &PolicyRegistry,
     points: &[SweepPoint],
@@ -100,16 +101,10 @@ pub fn run_sweep_with(
     } else {
         threads.min(n)
     };
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SweepOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let point = &points[i];
+    let tasks: Vec<_> = points
+        .iter()
+        .map(|point| {
+            move || {
                 let label = registry
                     .get(&point.policy)
                     .unwrap_or_else(|| {
@@ -123,24 +118,15 @@ pub fn run_sweep_with(
                     .to_string();
                 let outcome =
                     run_cluster_policy_with(registry, &point.spec, &point.policy, point.seed);
-                let slot = SweepOutcome {
+                SweepOutcome {
                     policy: point.policy.clone(),
                     label,
                     outcome,
-                };
-                results
-                    .lock()
-                    .expect("sweep invariant: no worker panics while holding the results lock")
-                    [i] = Some(slot);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("sweep invariant: all workers joined before the scope ends")
-        .into_iter()
-        .map(|o| o.expect("sweep invariant: every point index was claimed exactly once"))
-        .collect()
+                }
+            }
+        })
+        .collect();
+    WorkerPool::global().run_ordered(workers, tasks)
 }
 
 /// Builds the full §VI.B point grid: `policies × llmi_fractions`, one

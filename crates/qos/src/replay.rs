@@ -39,10 +39,8 @@ use dds_core::datacenter::{DcOutcome, PlacementRecord};
 use dds_core::registry::PolicyRegistry;
 use dds_core::spec::{VmSpec, WorkloadKind};
 use dds_power::PowerTimeline;
-use dds_sim_core::{SimRng, SimTime};
+use dds_sim_core::{SimRng, SimTime, WorkerPool};
 use dds_traces::{RequestGenerator, RequestProfile};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Configuration of a QoS replay.
 #[derive(Debug, Clone)]
@@ -187,8 +185,9 @@ fn replay_vm(
 /// [`QosReport`]. `outcome` must carry power timelines and a placement
 /// log (run with `DcConfig::track_power_timeline = true`); `vms` is the
 /// run's VM population (same specs, same order). Fans the per-VM replays
-/// out over `threads` workers (0 = one per available core); the merged
-/// report is bit-identical for any thread count.
+/// out over `threads` workers of the persistent [`WorkerPool`] (0 = one
+/// per available core); per-VM shards merge in VM order, so the report
+/// is bit-identical for any thread count.
 pub fn replay(
     vms: &[VmSpec],
     outcome: &DcOutcome,
@@ -207,36 +206,27 @@ pub fn replay(
     } else {
         threads.min(n.max(1))
     };
-    let next = AtomicUsize::new(0);
-    let shards: Mutex<Vec<Option<QosReport>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let residency = &residency;
+    let shards = WorkerPool::global().run_ordered(
+        workers,
+        (0..n)
+            .map(|i| {
+                move || {
+                    replay_vm(
+                        &vms[i],
+                        &residency[i],
+                        &outcome.timelines,
+                        cfg,
+                        seed,
+                        outcome.hours,
+                    )
                 }
-                let shard = replay_vm(
-                    &vms[i],
-                    &residency[i],
-                    &outcome.timelines,
-                    cfg,
-                    seed,
-                    outcome.hours,
-                );
-                shards
-                    .lock()
-                    .expect("replay invariant: no worker panics while holding the shard lock")[i] =
-                    Some(shard);
-            });
-        }
-    });
+            })
+            .collect(),
+    );
     let mut report = QosReport::new(cfg.profile.sla.as_millis());
-    for shard in shards
-        .into_inner()
-        .expect("replay invariant: all workers joined before the scope ends")
-    {
-        report.merge(&shard.expect("replay invariant: every VM index was claimed exactly once"));
+    for shard in &shards {
+        report.merge(shard);
     }
     report
 }

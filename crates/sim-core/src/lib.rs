@@ -12,6 +12,10 @@
 //! * [`engine`] — the discrete-event driver ([`SimEngine`]): queue +
 //!   clock + a handler loop, so whole simulations run at `SimTime`
 //!   resolution instead of fixed ticks.
+//! * [`pool`] — a persistent worker pool ([`WorkerPool`]): long-lived
+//!   workers parked on a condvar between batches, submission-ordered
+//!   results, so every parallel hot loop (fleet shards, sweeps, QoS
+//!   replays) dispatches work without per-call thread spawns.
 //! * [`ids`] — typed identifiers for simulation entities (VMs, hosts, …).
 //! * [`rng`] — seedable, stream-split random number helpers so that every
 //!   experiment is reproducible from a single `u64` seed.
@@ -29,6 +33,7 @@
 pub mod engine;
 pub mod events;
 pub mod ids;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -36,5 +41,6 @@ pub mod time;
 pub use engine::SimEngine;
 pub use events::{EventQueue, EventToken, ScheduledEvent};
 pub use ids::{HostId, RackId, VmId};
+pub use pool::WorkerPool;
 pub use rng::SimRng;
 pub use time::{CalendarStamp, SimDuration, SimTime, Weekday};

@@ -1,0 +1,463 @@
+//! A persistent worker pool for the workspace's parallel hot loops.
+//!
+//! Every fan-out in this repo used to pay a `std::thread::scope` per
+//! call: the fleet engine spawned and joined fresh OS threads **every
+//! simulated hour** (≈ 8,760 × shard-count thread lifecycles for a
+//! year-long run), and the sweep/QoS runners re-spawned their workers
+//! per invocation. [`WorkerPool`] replaces all of that with one set of
+//! long-lived workers, parked on a condvar between batches — dispatching
+//! a batch is a mutex push + wakeup, not a thread lifecycle.
+//!
+//! ## Determinism
+//!
+//! [`WorkerPool::run_ordered`] takes a `Vec` of closures and returns
+//! their results **in submission order**, whichever worker ran each one:
+//! task `i` writes only slot `i` of the result vector, claimed through a
+//! single atomic counter. Callers keep the exact shard-ordered /
+//! input-ordered merge discipline they had under `std::thread::scope`,
+//! so 1-worker and N-worker runs stay bit-identical.
+//!
+//! ## Nesting and panics
+//!
+//! The submitting thread always participates in draining its own batch,
+//! so a task running *on* the pool may itself submit a batch (the
+//! sweep → fleet nesting) without any risk of deadlock: every submitter
+//! can finish its batch alone even when all workers are busy. A panic
+//! inside a task is caught on the worker, the rest of the batch still
+//! runs, and the panic is re-raised on the submitting thread — the same
+//! observable behaviour as a panicking scoped thread.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the batch's `run task i` closure. The pointee
+/// lives on the submitting thread's stack; it is only dereferenced while
+/// that thread is blocked inside [`WorkerPool::run_ordered`], which is
+/// what makes the lifetime erasure sound (see `Job::runner`).
+struct RunnerPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (it is only ever called through `&`),
+// and the pointer is only dereferenced while the submitter keeps the
+// pointee alive (enforced by `run_ordered` blocking until the batch is
+// fully drained before returning).
+unsafe impl Send for RunnerPtr {}
+unsafe impl Sync for RunnerPtr {}
+
+/// Erases the runner's borrow lifetime so it can sit in the shared
+/// queue.
+///
+/// # Safety
+///
+/// The caller must keep `f` (and everything it borrows) alive until the
+/// batch's `remaining` counter reaches zero, and must not let any thread
+/// dereference the pointer after that point. `run_ordered` upholds both:
+/// it blocks until the batch drains, and every dereference is guarded by
+/// an index claim counted in `remaining`.
+unsafe fn erase_runner<'a>(f: &'a (dyn Fn(usize) + Sync + 'a)) -> RunnerPtr {
+    RunnerPtr(std::mem::transmute::<
+        *const (dyn Fn(usize) + Sync + 'a),
+        *const (dyn Fn(usize) + Sync + 'static),
+    >(f))
+}
+
+/// One published batch of indexed tasks.
+struct Job {
+    /// Erased `run task i` closure; dangling after the batch completes,
+    /// but never dereferenced again once `next >= count` (every claim
+    /// goes through `next`, and `remaining` proves all calls returned).
+    runner: RunnerPtr,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Task count.
+    count: usize,
+    /// Tasks claimed but not yet finished, plus unclaimed ones.
+    remaining: AtomicUsize,
+    /// Pool workers that joined this batch (bounded by `width - 1`;
+    /// the submitter is the width-th executor).
+    joiners: AtomicUsize,
+    /// Extra pool workers allowed to join (`width - 1`).
+    max_joiners: usize,
+    /// First panic payload raised by a task, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion latch the submitter waits on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claims and runs tasks until the batch is exhausted.
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.count {
+                return;
+            }
+            // SAFETY: the submitter keeps the runner alive until
+            // `remaining` reaches zero, and this call is counted in
+            // `remaining` because index `i` was claimed before running.
+            let runner = unsafe { &*self.runner.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| runner(i))) {
+                let mut slot = self.panic.lock().expect("pool panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let mut done = self.done.lock().expect("pool done latch poisoned");
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// True once every task index has been claimed.
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::SeqCst) >= self.count
+    }
+}
+
+/// Shared state between the pool handle and its workers.
+struct Shared {
+    /// Batches with unclaimed tasks, oldest first.
+    queue: Mutex<PoolQueue>,
+    work_cv: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// A long-lived pool of worker threads executing batches of closures
+/// with submission-ordered results. See the module docs for the
+/// determinism, nesting and panic contracts.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` parked worker threads. A pool with
+    /// zero workers is valid: every batch then runs inline on the
+    /// submitting thread (the deterministic serial baseline).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dds-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker cannot fail")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The process-wide shared pool, spawned on first use with one
+    /// worker per available core beyond the caller's own thread. Every
+    /// submitter participates in its own batches, so `width` executors
+    /// means the submitter plus `width - 1` pool workers.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            WorkerPool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Worker threads parked in this pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `tasks` at a parallelism of at most `width` executors (the
+    /// submitting thread plus up to `width - 1` pool workers; `0` means
+    /// "submitter plus every worker") and returns the results in
+    /// submission order. Blocks until the whole batch has finished.
+    ///
+    /// Panics (on the calling thread) if any task panicked, after the
+    /// rest of the batch has drained.
+    pub fn run_ordered<T, F>(&self, width: usize, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let width = if width == 0 { usize::MAX } else { width };
+        if n <= 1 || width == 1 || self.workers.is_empty() {
+            // Serial fast path: no queue traffic, no wakeups.
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        // Slot-per-task storage. The claim counter hands every index to
+        // exactly one executor, so each slot mutex is uncontended; it
+        // exists to make the cross-thread handoff safe without `unsafe`
+        // cell tricks in the data path.
+        let mut slots: Vec<Mutex<(Option<F>, Option<T>)>> = Vec::with_capacity(n);
+        for f in tasks {
+            slots.push(Mutex::new((Some(f), None)));
+        }
+        let slots_ref = &slots;
+        let runner = move |i: usize| {
+            let task = {
+                let mut slot = slots_ref[i].lock().expect("pool task slot poisoned");
+                slot.0.take()
+            };
+            let task = task.expect("pool invariant: every task index claimed exactly once");
+            let value = task();
+            let mut slot = slots_ref[i].lock().expect("pool result slot poisoned");
+            slot.1 = Some(value);
+        };
+        let job = Arc::new(Job {
+            // SAFETY: `run_ordered` does not return (and so the runner
+            // and slots stay alive) until `remaining == 0`, after which
+            // no thread dereferences the pointer again: claims past
+            // `count` return before the deref, and `remaining` counts
+            // every in-flight call.
+            runner: unsafe { erase_runner(&runner) },
+            next: AtomicUsize::new(0),
+            count: n,
+            remaining: AtomicUsize::new(n),
+            joiners: AtomicUsize::new(0),
+            max_joiners: width.saturating_sub(1).min(self.workers.len()),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.jobs.push_back(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+
+        // The submitter is always an executor of its own batch: nested
+        // submissions from pool workers drain even when every other
+        // worker is busy.
+        job.drain();
+        {
+            let mut done = job.done.lock().expect("pool done latch poisoned");
+            while !*done {
+                done = job
+                    .done_cv
+                    .wait(done)
+                    .expect("pool done latch poisoned while waiting");
+            }
+        }
+        {
+            // Drop our queue entry so the erased runner pointer cannot
+            // outlive this call frame inside the shared queue.
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        if let Some(payload) = job.panic.lock().expect("pool panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("pool result slot poisoned")
+                    .1
+                    .expect("pool invariant: every finished task produced a result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("pool worker panicked outside a task");
+        }
+    }
+}
+
+/// The worker thread body: park on the condvar until a batch with
+/// unclaimed tasks appears, join it (bounded by its width), drain, park
+/// again.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if queue.shutdown {
+                    return;
+                }
+                // Oldest batch first; skip exhausted or width-saturated
+                // batches (their entries are removed by their submitter).
+                let found = queue.jobs.iter().find(|job| {
+                    !job.exhausted() && job.joiners.load(Ordering::SeqCst) < job.max_joiners
+                });
+                if let Some(job) = found {
+                    job.joiners.fetch_add(1, Ordering::SeqCst);
+                    break Arc::clone(job);
+                }
+                queue = shared
+                    .work_cv
+                    .wait(queue)
+                    .expect("pool queue poisoned while waiting");
+            }
+        };
+        job.drain();
+        job.joiners.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        for n in [0usize, 1, 2, 3, 7, 64] {
+            let tasks: Vec<_> = (0..n).map(|i| move || i * i).collect();
+            let out = pool.run_ordered(0, tasks);
+            assert_eq!(out, (0..n).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn batches_larger_and_smaller_than_the_worker_count_drain() {
+        let pool = WorkerPool::new(2);
+        // Far more tasks than workers…
+        let big: Vec<_> = (0..257usize).map(|i| move || i + 1).collect();
+        assert_eq!(pool.run_ordered(0, big).len(), 257);
+        // …and fewer tasks than workers.
+        let small: Vec<_> = (0..1usize).map(|i| move || i).collect();
+        assert_eq!(pool.run_ordered(0, small), vec![0]);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        let main = std::thread::current().id();
+        let out = pool.run_ordered(0, vec![move || std::thread::current().id() == main]);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn width_one_is_a_serial_inline_run() {
+        let pool = WorkerPool::new(4);
+        let main = std::thread::current().id();
+        let tasks: Vec<_> = (0..8)
+            .map(|_| move || std::thread::current().id() == main)
+            .collect();
+        assert!(pool.run_ordered(1, tasks).into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn the_pool_is_reusable_across_many_batches() {
+        // The whole point: dispatch cost, not thread-lifecycle cost.
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        for round in 0..200u64 {
+            let total = &total;
+            let tasks: Vec<_> = (0..8)
+                .map(|i| move || total.fetch_add(round + i, Ordering::SeqCst))
+                .collect();
+            pool.run_ordered(0, tasks);
+        }
+        let expect: u64 = (0..200u64)
+            .map(|r| (0..8).map(|i| r + i).sum::<u64>())
+            .sum();
+        assert_eq!(total.load(Ordering::SeqCst), expect);
+    }
+
+    #[test]
+    fn nested_submission_from_a_pool_task_completes() {
+        // A task running on the pool submits its own batch to the same
+        // pool — the sweep → fleet shape. The submitter-participates
+        // rule keeps this deadlock-free even on a 1-worker pool.
+        let pool = WorkerPool::new(1);
+        let outer: Vec<_> = (0..4usize)
+            .map(|i| {
+                move || {
+                    let inner: Vec<_> = (0..6usize).map(|j| move || i * 10 + j).collect();
+                    WorkerPool::global()
+                        .run_ordered(0, inner)
+                        .iter()
+                        .sum::<usize>()
+                }
+            })
+            .collect();
+        let sums = pool.run_ordered(0, outer);
+        assert_eq!(sums, vec![15, 75, 135, 195]);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter_after_the_batch_drains() {
+        let pool = WorkerPool::new(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8usize)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 3 {
+                        panic!("task 3 exploded");
+                    }
+                    i as u64
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| pool.run_ordered(0, tasks)));
+        let payload = result.expect_err("the task panic must reach the submitter");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "task 3 exploded");
+        // Every task ran (the batch drains fully before re-raising) and
+        // the pool is still usable afterwards.
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+        let out = pool.run_ordered(0, vec![|| 1u64, || 2]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized_to_the_machine() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(a.workers(), cores - 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = Arc::new(WorkerPool::new(3));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let tasks: Vec<_> = (0..32u64).map(|i| move || t * 1000 + i).collect();
+                    let out = pool.run_ordered(0, tasks);
+                    assert_eq!(out, (0..32u64).map(|i| t * 1000 + i).collect::<Vec<_>>());
+                });
+            }
+        });
+    }
+}
