@@ -15,7 +15,15 @@
 //! qos --quick --json         # CI-sized run, BENCH_qos.json artifact
 //! qos --scenario <name>      # another catalog entry (needs a [qos] section)
 //! qos --file my.scenario     # your own scenario file
+//! qos --streaming            # evaluate inline (DcConfig::qos_stream)
+//! qos --throughput           # time the replay pipelines (adds JSON section)
 //! ```
+//!
+//! `--streaming` switches the evaluation from the post-hoc replay to the
+//! streaming pipeline riding inside the run. For open-loop policies the
+//! artifacts are **byte-identical** either way (the CI job diffs them);
+//! closed-loop policies (`sla-aware`) actually consume the signal and
+//! legitimately diverge, so keep them out of cross-mode diffs.
 //!
 //! Shared flags: `--seed N`, `--threads N` (0 = auto; reports are
 //! bit-identical for any value — the `qos-smoke` CI job diffs serial vs
@@ -24,11 +32,12 @@
 
 use dds_bench::{pct1, ExpOptions, JsonObject};
 use dds_power::WakeSpeed;
-use dds_qos::QosReport;
-use dds_scenarios::{find, run_scenario_qos, QosSpec, Scenario};
+use dds_qos::{replay, replay_per_request, QosConfig, QosReport};
+use dds_scenarios::{find, run_scenario_qos_mode, QosMode, QosSpec, Scenario};
 use dds_sim_core::stats::TextTable;
 use dds_sim_core::SimDuration;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// One wake-path variant of the experiment.
 struct Variant {
@@ -79,9 +88,13 @@ fn main() -> ExitCode {
 
     let mut scenario_name = "sla-web-front".to_string();
     let mut file: Option<String> = None;
+    let mut mode = QosMode::PostHoc;
+    let mut throughput = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
+            "--streaming" => mode = QosMode::Streaming,
+            "--throughput" => throughput = true,
             "--scenario" => {
                 i += 1;
                 match rest.get(i) {
@@ -104,8 +117,8 @@ fn main() -> ExitCode {
             }
             flag => {
                 eprintln!(
-                    "error: unknown flag {flag} (expected --scenario NAME, --file PATH \
-                     or the shared experiment flags)"
+                    "error: unknown flag {flag} (expected --scenario NAME, --file PATH, \
+                     --streaming, --throughput or the shared experiment flags)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -151,7 +164,7 @@ fn main() -> ExitCode {
     }
     let base_qos = scenario.qos.clone();
     println!(
-        "scenario '{}': {} hosts, {} VMs, {} days, SLA {} ms\n  {}",
+        "scenario '{}': {} hosts, {} VMs, {} days, SLA {} ms, {} evaluation\n  {}",
         scenario.name,
         scenario.host_count(),
         scenario.vm_count(),
@@ -160,6 +173,10 @@ fn main() -> ExitCode {
             .as_ref()
             .map(|q| q.profile.sla.as_millis())
             .unwrap_or(200),
+        match mode {
+            QosMode::PostHoc => "post-hoc",
+            QosMode::Streaming => "streaming",
+        },
         scenario.summary,
     );
 
@@ -187,7 +204,7 @@ fn main() -> ExitCode {
             variant.key,
             variant.resume.as_millis()
         );
-        let results = run_scenario_qos(&scenario, Some(opts.seed), opts.threads);
+        let results = run_scenario_qos_mode(&scenario, Some(opts.seed), opts.threads, mode);
         let mut table = TextTable::new(vec![
             "policy",
             "energy kWh",
@@ -250,14 +267,102 @@ fn main() -> ExitCode {
          requests within the threshold) at the full energy bill; drowsy \
          policies keep the SLA and surface the resume latency at p99.9."
     );
+    let mut artifact = opts
+        .bench_json("qos")
+        .str("scenario", &scenario.name)
+        .int("days", scenario.days)
+        .array("variants", &variant_objects);
+    if throughput {
+        artifact = artifact.object(
+            "throughput",
+            &measure_throughput(&scenario, &base_qos, opts.seed, opts.threads),
+        );
+    }
     opts.write_csv("qos.csv", &csv);
-    opts.write_bench_json(
-        "qos",
-        &opts
-            .bench_json("qos")
-            .str("scenario", &scenario.name)
-            .int("days", scenario.days)
-            .array("variants", &variant_objects),
-    );
+    opts.write_bench_json("qos", &artifact);
     ExitCode::SUCCESS
+}
+
+/// Times the three request-evaluation pipelines on one recorded
+/// `drowsy-dc` run of the scenario and reports requests per wall-second:
+/// the original event-per-request replay, the interval-batched replay
+/// (both post-hoc, over the identical recorded run — their reports are
+/// asserted equal), and the streaming run end to end (its rate includes
+/// the simulation itself, so it is a lower bound on the pipeline's own
+/// throughput). Wall-clock numbers, so this section is kept out of the
+/// byte-diffed CI artifacts unless `--throughput` is passed.
+fn measure_throughput(
+    scenario: &Scenario,
+    base_qos: &Option<QosSpec>,
+    seed: u64,
+    threads: usize,
+) -> JsonObject {
+    let mut s = scenario.clone();
+    s.policies = vec!["drowsy-dc".to_string()];
+    s.qos = Some(QosSpec {
+        profile: base_qos
+            .as_ref()
+            .map(|q| q.profile.clone())
+            .unwrap_or_else(dds_traces::RequestProfile::web_search_quick_resume),
+        wake: base_qos
+            .as_ref()
+            .map(|q| q.wake)
+            .unwrap_or(WakeSpeed::Quick),
+    });
+    println!("\nthroughput (drowsy-dc, threads = {threads}, 0 = auto):");
+    // One recorded run; both replays walk the identical timelines.
+    let rows = run_scenario_qos_mode(&s, Some(seed), threads, QosMode::PostHoc);
+    let (recorded, batched_report) = rows.into_iter().next().expect("one policy row");
+    let spec = s.to_cluster_spec();
+    let cfg = QosConfig {
+        profile: s.qos.as_ref().expect("set above").profile.clone(),
+        noise: spec.config.im.noise_threshold,
+    };
+    let vms = spec.vm_specs(seed);
+    let t0 = Instant::now();
+    let reference = replay_per_request(&vms, &recorded.outcome.dc, &cfg, seed, threads);
+    let per_request_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let batched = replay(&vms, &recorded.outcome.dc, &cfg, seed, threads);
+    let batched_s = t1.elapsed().as_secs_f64();
+    assert_eq!(reference, batched, "the pipelines must agree to the bit");
+    assert_eq!(reference, batched_report);
+    let t2 = Instant::now();
+    let streaming = run_scenario_qos_mode(&s, Some(seed), threads, QosMode::Streaming);
+    let streaming_s = t2.elapsed().as_secs_f64();
+    assert_eq!(
+        streaming.first().map(|(_, r)| r),
+        Some(&batched),
+        "streaming must agree for the open-loop policy"
+    );
+    let requests = batched.total;
+    let rps = |secs: f64| requests as f64 / secs.max(1e-9);
+    let speedup = per_request_s / batched_s.max(1e-9);
+    let mut table = TextTable::new(vec!["pipeline", "wall s", "requests/s"]);
+    table.row(vec![
+        "per-request replay (PR 5)".into(),
+        format!("{per_request_s:.3}"),
+        format!("{:.0}", rps(per_request_s)),
+    ]);
+    table.row(vec![
+        "batched replay".into(),
+        format!("{batched_s:.3}"),
+        format!("{:.0}", rps(batched_s)),
+    ]);
+    table.row(vec![
+        "streaming (whole run)".into(),
+        format!("{streaming_s:.3}"),
+        format!("{:.0}", rps(streaming_s)),
+    ]);
+    println!("{}", table.render());
+    println!("batched vs per-request speedup: {speedup:.1}x over {requests} requests");
+    JsonObject::new()
+        .int("requests", requests)
+        .num("per_request_replay_s", per_request_s)
+        .num("per_request_replay_rps", rps(per_request_s))
+        .num("batched_replay_s", batched_s)
+        .num("batched_replay_rps", rps(batched_s))
+        .num("streaming_run_s", streaming_s)
+        .num("streaming_run_rps", rps(streaming_s))
+        .num("batched_speedup", speedup)
 }

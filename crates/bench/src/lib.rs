@@ -227,6 +227,12 @@ impl JsonObject {
         self
     }
 
+    /// Adds a single nested object.
+    pub fn object(mut self, key: &str, value: &JsonObject) -> Self {
+        self.fields.push((key.to_string(), value.render_flat()));
+        self
+    }
+
     /// Adds an array of nested objects.
     pub fn array(mut self, key: &str, items: &[JsonObject]) -> Self {
         let rendered: Vec<String> = items.iter().map(|o| o.render_flat()).collect();

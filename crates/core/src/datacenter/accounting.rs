@@ -49,8 +49,13 @@ impl Datacenter {
         for h in &mut self.hosts {
             let state = h.power.state();
             h.meter.advance(end, state, 0.0);
+            // A streaming-only run keeps a trimmed working window, not a
+            // replayable history: the outcome carries timelines only when
+            // full retention was asked for.
             if let Some(tl) = h.meter.take_timeline() {
-                timelines.push(tl);
+                if self.cfg.track_power_timeline {
+                    timelines.push(tl);
+                }
             }
         }
         let mut account = DcEnergyAccount::new();
@@ -88,6 +93,7 @@ impl Datacenter {
             suspend_cycles,
             timelines,
             placements: self.placements,
+            qos: self.qos.take().map(QosStream::into_report),
         }
     }
 }

@@ -111,13 +111,7 @@ impl Datacenter {
         self.vms[vm_id.index()].host = to;
         self.vms[vm_id.index()].migrations += 1;
         self.vms[vm_id.index()].last_migration_hour = Some(self.hour);
-        if self.cfg.track_power_timeline {
-            self.placements.push(PlacementRecord {
-                vm: vm_id,
-                at: now,
-                host: to,
-            });
-        }
+        self.record_placement(vm_id, now, to);
     }
 
     /// One control period.
@@ -127,6 +121,12 @@ impl Datacenter {
         let hour_start = SimTime::from_hours(h);
         let hour_end = SimTime::from_hours(h + 1);
         let noise = self.cfg.im.noise_threshold;
+
+        // --- closed-loop QoS: last epoch's window reaches the policy
+        // before it plans (ControlPolicy::observe_qos).
+        if let Some(window) = self.qos.as_mut().and_then(|q| q.pending.take()) {
+            self.policy.observe_qos(&window);
+        }
 
         // --- activity levels and idleness scores for this hour.
         let levels: Vec<f64> = self
@@ -219,6 +219,21 @@ impl Datacenter {
                 .sum();
             self.host_hist
                 .push(host.spec.id, demand / host.spec.cpu_cores.max(1e-9));
+        }
+
+        // --- streaming QoS: serve this hour's requests against the
+        // timelines recorded so far (every active VM's host woke within
+        // the hour, so each lookup resolves in recorded history), then
+        // drop the intervals no future arrival can need.
+        if let Some(q) = self.qos.as_mut() {
+            q.process_epoch(h, &self.hosts, &self.vms);
+            if !self.cfg.track_power_timeline {
+                for host in &mut self.hosts {
+                    if let Some(tl) = host.meter.timeline_mut() {
+                        tl.trim_before(hour_end);
+                    }
+                }
+            }
         }
         self.hour += 1;
     }

@@ -48,11 +48,14 @@
 mod accounting;
 mod control;
 mod engine;
+mod qos_stream;
 #[cfg(test)]
 mod tests;
 mod wake;
 
 pub use engine::{DcEngine, DcEvent, EngineConfig};
+use qos_stream::QosStream;
+pub use qos_stream::QosStreamConfig;
 
 use crate::spec::{HostSpec, VmSpec, WorkloadKind};
 use dds_hostos::{
@@ -209,6 +212,14 @@ pub struct DcConfig {
     /// inputs of the request-level QoS replay (`dds-qos`). Off by
     /// default: energy-only experiments pay nothing for it.
     pub track_power_timeline: bool,
+    /// Compute request-level QoS *inline* with the run (the streaming
+    /// pipeline; see [`QosStreamConfig`]): per-epoch [`QosWindow`]s
+    /// delivered to the policy, the run-wide report on
+    /// [`DcOutcome::qos`] — without retaining timelines or placement
+    /// logs. `None` (the default) costs nothing.
+    ///
+    /// [`QosWindow`]: dds_sim_core::qos::QosWindow
+    pub qos_stream: Option<QosStreamConfig>,
 }
 
 impl DcConfig {
@@ -235,6 +246,7 @@ impl DcConfig {
             track_colocation: true,
             track_sla: true,
             track_power_timeline: false,
+            qos_stream: None,
         }
     }
 }
@@ -328,6 +340,11 @@ pub struct DcOutcome {
     /// The VM placement log (see [`PlacementRecord`]), recorded under
     /// [`DcConfig::track_power_timeline`]; empty otherwise.
     pub placements: Vec<PlacementRecord>,
+    /// The run-wide streaming QoS report, when the run streamed QoS
+    /// ([`DcConfig::qos_stream`]); `None` otherwise. Bit-identical to
+    /// the post-hoc replay of the same run (see
+    /// `dds_core::datacenter::qos_stream`).
+    pub qos: Option<dds_sim_core::qos::QosReport>,
 }
 
 impl DcOutcome {
@@ -393,6 +410,9 @@ pub struct Datacenter {
     /// Placement log (under `track_power_timeline`): every assignment a
     /// VM ever received, in time order.
     placements: Vec<PlacementRecord>,
+    /// The streaming QoS pipeline (under `qos_stream`): per-epoch
+    /// request accounting, the policy's closed-loop signal.
+    qos: Option<QosStream>,
     /// Event-engine mode: leave parked (S3/S5) hosts' meters untouched at
     /// control-period boundaries so a mid-hour resume integrates the
     /// parked span over its true variable-length interval. The legacy
@@ -445,7 +465,9 @@ impl Datacenter {
                 // (and its suspend/resume latencies) per host class.
                 let model = spec.power.clone().unwrap_or_else(|| cfg.power.clone());
                 let mut meter = EnergyMeter::new(model, start);
-                if cfg.track_power_timeline {
+                // The streaming QoS pipeline reads the timeline too — but
+                // trims it every epoch unless full retention was asked for.
+                if cfg.track_power_timeline || cfg.qos_stream.is_some() {
                     meter.enable_timeline();
                 }
                 HostSim {
@@ -497,9 +519,14 @@ impl Datacenter {
         } else {
             Vec::new()
         };
+        let qos = cfg
+            .qos_stream
+            .clone()
+            .map(|qcfg| QosStream::new(qcfg, seed, cfg.im.noise_threshold, &vms));
         let n = vms.len();
         Datacenter {
             policy,
+            qos,
             waking: WakingCluster::new(1, cfg.waking, start),
             blacklist,
             vm_hist: HistoryBook::new(48),
@@ -517,6 +544,19 @@ impl Datacenter {
             cfg,
             hosts,
             vms,
+        }
+    }
+
+    /// Records a placement assignment into the placement log (post-hoc
+    /// replay input, under `track_power_timeline`) and the streaming QoS
+    /// pipeline's residency (under `qos_stream`) — one seam, so the two
+    /// QoS paths route requests identically.
+    pub(crate) fn record_placement(&mut self, vm: VmId, at: SimTime, host: HostId) {
+        if self.cfg.track_power_timeline {
+            self.placements.push(PlacementRecord { vm, at, host });
+        }
+        if let Some(q) = self.qos.as_mut() {
+            q.on_placement(vm, at, host);
         }
     }
 
@@ -598,13 +638,8 @@ impl Datacenter {
             spec,
         });
         self.live_vms += 1;
-        if self.cfg.track_power_timeline {
-            self.placements.push(PlacementRecord {
-                vm: self.vms.last().expect("just pushed").spec.id,
-                at: now,
-                host: dest,
-            });
-        }
+        let id = self.vms.last().expect("just pushed").spec.id;
+        self.record_placement(id, now, dest);
         // Grow the colocation matrix.
         let n = self.vms.len();
         for row in &mut self.coloc_hours {

@@ -1,0 +1,295 @@
+//! The streaming QoS pipeline: request-level SLA accounting computed
+//! *inline* with the run, one control epoch at a time.
+//!
+//! The post-hoc replay (`dds-qos`) needs the whole run recorded first —
+//! every host's [`PowerTimeline`] plus the complete placement log — and
+//! only then walks the request streams. This module runs the same
+//! pipeline online: at the end of each control epoch it draws that hour's
+//! Poisson arrivals per interactive VM (interval-batched, through
+//! [`RequestStream`]), routes them with the VM's *current* residency,
+//! serves them against the timeline recorded so far, and folds the
+//! results into a per-epoch [`QosWindow`]. The window is handed to the
+//! control policy at the top of the next epoch
+//! ([`ControlPolicy::observe_qos`]) — the closed-loop signal seam — and
+//! its report accumulates into the run-wide [`QosReport`] surfaced on
+//! [`DcOutcome::qos`].
+//!
+//! ## Bit-identity with the post-hoc replay
+//!
+//! Streaming and replay share their RNG streams (per-VM
+//! `stream_indexed("qos-requests", vm)`), their draw protocol
+//! ([`RequestStream`]), and their service arithmetic
+//! (`dds_sim_core::qos::{fcfs_serve, power_ready_at}`), so on any run
+//! without mid-run departures the streaming report is **bit-identical**
+//! to replaying the finished run — for any worker-thread count on either
+//! side. The key invariant making per-epoch evaluation exact: a VM active
+//! in hour `h` (level at or above the idleness noise gate — the same gate
+//! the request stream uses) forces its host awake *within* hour `h`, so
+//! every power-state lookup resolves inside already-recorded history.
+//! Departed VMs are the one semantic divergence: the streaming client
+//! stops when the VM is deleted, while the lifecycle-blind replay keeps
+//! replaying the full trace.
+//!
+//! ## Memory
+//!
+//! Nothing whole-run is retained: per VM the state is one RNG, the FCFS
+//! server pool, the live wake episode and a compacted residency of at
+//! most a few moves; per host, the timeline is trimmed each epoch to the
+//! intervals that can still matter (unless the run also asked for
+//! [`DcConfig::track_power_timeline`], in which case full retention is
+//! the point). That is what lets the pipeline ride along at fleet scale
+//! where materializing timelines and placement logs cannot.
+
+use super::*;
+use dds_sim_core::qos::{fcfs_serve, power_ready_at, QosReport, QosWindow};
+use dds_sim_core::WorkerPool;
+use dds_traces::{RequestProfile, RequestStream};
+
+/// Configuration of the streaming QoS pipeline (see the module-level
+/// documentation above).
+/// Attach it to [`DcConfig::qos_stream`] to compute request-level QoS
+/// inline with the run.
+///
+/// The activity noise gate is the run's own
+/// [`ImConfig::noise_threshold`](dds_idleness::ImConfig) — requests flow
+/// exactly in the hours that keep a host awake, the invariant the
+/// per-epoch evaluation rests on.
+#[derive(Debug, Clone)]
+pub struct QosStreamConfig {
+    /// The request workload attached to every interactive VM.
+    pub profile: RequestProfile,
+    /// Worker threads fanning each epoch's VM chunks over the persistent
+    /// [`WorkerPool`] (0 = one per available core). Reports are
+    /// bit-identical for any value.
+    pub threads: usize,
+}
+
+impl QosStreamConfig {
+    /// Streams `profile` with automatic epoch fan-out.
+    pub fn new(profile: RequestProfile) -> Self {
+        QosStreamConfig {
+            profile,
+            threads: 0,
+        }
+    }
+
+    /// Streams `profile` serially (no pool fan-out) — what nested
+    /// contexts like the scenario sweep use, where the pool is already
+    /// busy parallelizing across policies.
+    pub fn serial(profile: RequestProfile) -> Self {
+        QosStreamConfig {
+            profile,
+            threads: 1,
+        }
+    }
+}
+
+/// Live state of the streaming pipeline: per-VM request-stream positions
+/// and service backlogs, the compacted residencies, the pending epoch
+/// window and the run-wide report.
+pub(super) struct QosStream {
+    cfg: QosStreamConfig,
+    seed: u64,
+    /// Activity gate (the run's `ImConfig::noise_threshold`).
+    noise: f64,
+    /// Per-VM request RNG streams (`stream_indexed("qos-requests", vm)`),
+    /// advanced exactly as the replay's would be.
+    rngs: Vec<SimRng>,
+    /// Per-VM FCFS server pools (`free[i]` = instant server `i` frees
+    /// up); sized to the VM's vCPUs on first use, persists across epochs.
+    free: Vec<Vec<SimTime>>,
+    /// Per-VM live wake episode (see `power_ready_at`).
+    episodes: Vec<Option<(SimTime, SimTime)>>,
+    /// Per-VM residency: `(at, host)` moves in time order, compacted
+    /// after every epoch to the spans that can still matter.
+    moves: Vec<Vec<(SimTime, HostId)>>,
+    /// The most recently completed epoch's window, delivered to the
+    /// policy at the top of the next epoch.
+    pub(super) pending: Option<QosWindow>,
+    /// Run-wide accumulation of every epoch window.
+    report: QosReport,
+}
+
+impl QosStream {
+    pub(super) fn new(cfg: QosStreamConfig, seed: u64, noise: f64, vms: &[VmSim]) -> Self {
+        let sla_ms = cfg.profile.sla.as_millis();
+        let mut stream = QosStream {
+            cfg,
+            seed,
+            noise,
+            rngs: Vec::new(),
+            free: Vec::new(),
+            episodes: Vec::new(),
+            moves: Vec::new(),
+            pending: None,
+            report: QosReport::new(sla_ms),
+        };
+        for vm in vms {
+            stream.on_placement(vm.spec.id, SimTime::EPOCH, vm.host);
+        }
+        stream
+    }
+
+    /// Grows the per-VM columns through slot `i`, deriving each new VM's
+    /// request RNG stream.
+    fn ensure_slot(&mut self, i: usize) {
+        while self.rngs.len() <= i {
+            let idx = self.rngs.len() as u64;
+            self.rngs
+                .push(SimRng::new(self.seed).stream_indexed("qos-requests", idx));
+            self.free.push(Vec::new());
+            self.episodes.push(None);
+            self.moves.push(Vec::new());
+        }
+    }
+
+    /// Records a placement assignment (initial placement, admission,
+    /// migration, swap, park/unpark) — the streaming twin of the
+    /// placement log.
+    pub(super) fn on_placement(&mut self, vm: VmId, at: SimTime, host: HostId) {
+        self.ensure_slot(vm.index());
+        self.moves[vm.index()].push((at, host));
+    }
+
+    /// The run-wide report accumulated so far.
+    pub(super) fn into_report(self) -> QosReport {
+        self.report
+    }
+
+    /// Processes control epoch `hour`: draws and serves every interactive
+    /// VM's requests for that hour against the recorded timelines,
+    /// producing the epoch's [`QosWindow`] (left in `pending`) and
+    /// folding it into the run report. VM chunks fan out over the
+    /// persistent pool; chunk windows merge in submission order, and all
+    /// window state is exact-integer, so the result is bit-identical for
+    /// any thread count.
+    pub(super) fn process_epoch(&mut self, hour: u64, hosts: &[HostSim], vms: &[VmSim]) {
+        let sla_ms = self.cfg.profile.sla.as_millis();
+        let n = vms.len();
+        if n == 0 {
+            self.pending = Some(QosWindow::new(hour, sla_ms));
+            return;
+        }
+        self.ensure_slot(n - 1);
+        let timelines: Vec<Option<&PowerTimeline>> =
+            hosts.iter().map(|h| h.meter.timeline()).collect();
+        let workers = if self.cfg.threads == 0 {
+            crate::sweep::auto_threads(n)
+        } else {
+            self.cfg.threads.min(n.max(1))
+        };
+        let chunk = n.div_ceil((workers * 4).max(1)).max(1);
+        let noise = self.noise;
+        let profile = &self.cfg.profile;
+        let timelines = &timelines;
+        let moves = &self.moves;
+        let tasks: Vec<_> = self
+            .rngs
+            .chunks_mut(chunk)
+            .zip(self.free.chunks_mut(chunk))
+            .zip(self.episodes.chunks_mut(chunk))
+            .enumerate()
+            .map(|(k, ((rngs, free), episodes))| {
+                let start = k * chunk;
+                move || {
+                    let mut window = QosWindow::new(hour, sla_ms);
+                    let mut stream = RequestStream::new(profile.clone(), SimRng::new(0));
+                    for (j, rng) in rngs.iter_mut().enumerate() {
+                        let i = start + j;
+                        process_vm(
+                            &vms[i],
+                            hour,
+                            noise,
+                            rng,
+                            &mut free[j],
+                            &mut episodes[j],
+                            &moves[i],
+                            timelines,
+                            &mut stream,
+                            &mut window,
+                        );
+                    }
+                    window
+                }
+            })
+            .collect();
+        let shards = WorkerPool::global().run_ordered(workers, tasks);
+        let mut window = QosWindow::new(hour, sla_ms);
+        for shard in &shards {
+            window.merge(shard);
+        }
+        self.report.merge(&window.report);
+        self.pending = Some(window);
+        // Compact residencies: keep the last move at or before the epoch
+        // boundary (it covers every future arrival until the next move).
+        let hour_end = SimTime::from_hours(hour + 1);
+        for m in &mut self.moves {
+            let cut = m
+                .partition_point(|&(at, _)| at <= hour_end)
+                .saturating_sub(1);
+            if cut > 0 {
+                m.drain(..cut);
+            }
+        }
+    }
+}
+
+/// Draws and serves one VM's requests for `hour` into the chunk `window`
+/// — the streaming twin of the replay's `replay_vm_batched`, over the
+/// same shared FCFS/wake-episode arithmetic.
+#[allow(clippy::too_many_arguments)] // the chunk fan-out's split-borrow seam
+fn process_vm(
+    vm: &VmSim,
+    hour: u64,
+    noise: f64,
+    rng: &mut SimRng,
+    free: &mut Vec<SimTime>,
+    episode: &mut Option<(SimTime, SimTime)>,
+    moves: &[(SimTime, HostId)],
+    timelines: &[Option<&PowerTimeline>],
+    stream: &mut RequestStream,
+    window: &mut QosWindow,
+) {
+    if vm.spec.kind != WorkloadKind::Interactive || vm.departed {
+        return;
+    }
+    let level = vm.spec.trace.level_at_hour(hour);
+    if level < noise {
+        return;
+    }
+    if free.is_empty() {
+        free.resize((vm.spec.vcpus.round() as usize).max(1), SimTime::EPOCH);
+    }
+    stream.fill_hour_with(rng, hour, level);
+    let (arrivals, services) = stream.emit_rest();
+    // Arrivals are monotone within the hour: residency resolves with a
+    // forward walk, power state with a fresh timeline cursor.
+    let mut mv = 0usize;
+    let mut tl_cursor = dds_power::TimelineCursor::new();
+    for (&arrival, &service) in arrivals.iter().zip(services) {
+        while mv < moves.len() && moves[mv].0 <= arrival {
+            mv += 1;
+        }
+        let Some(&(_, host)) = mv.checked_sub(1).map(|i| &moves[i]) else {
+            window.record_unserved();
+            continue;
+        };
+        let Some(timeline) = timelines[host.index()] else {
+            window.record_unserved();
+            continue;
+        };
+        let Some(operational) = tl_cursor.operational_from(timeline, arrival) else {
+            // An active VM keeps its host awake within the hour, so this
+            // only fires for requests of VMs idle-gated differently than
+            // the host model — flagged, not silently dropped.
+            window.record_unserved();
+            continue;
+        };
+        let span = (operational != arrival)
+            .then(|| tl_cursor.resume_window_after(timeline, arrival))
+            .flatten();
+        let power_ready = power_ready_at(operational, arrival, span, episode);
+        let (latency_ms, wake_hit) = fcfs_serve(free, arrival, service, power_ready);
+        window.record(host.index() as u32, latency_ms, wake_hit);
+    }
+}

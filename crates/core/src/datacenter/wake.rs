@@ -174,6 +174,14 @@ impl Datacenter {
                 h.meter.advance(hour_end, PowerState::Active, metered_util);
                 return;
             }
+            // Policy veto (ControlPolicy::allow_suspend): a host currently
+            // absorbing wake-induced SLA violations is held powered this
+            // hour — the closed-loop consumer of the streaming QoS signal.
+            if !self.policy.allow_suspend(hid) {
+                let h = &mut self.hosts[hid.index()];
+                h.meter.advance(hour_end, PowerState::Active, metered_util);
+                return;
+            }
             // Candidate suspend instant: idle detection + management pin.
             let mut t = (hour_start + self.cfg.idle_detect_delay)
                 .max(self.hosts[hid.index()].forced_awake_until)

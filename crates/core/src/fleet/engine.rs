@@ -54,6 +54,7 @@ use std::time::Instant;
 
 use dds_placement::CapacityIndex;
 use dds_power::HostPowerModel;
+use dds_sim_core::qos::QosReport;
 use dds_sim_core::{SimRng, WorkerPool};
 
 use super::arena::{link, unlink, HostColumns, PowerState, VmArena, VmRef, NO_SLOT, NO_WAKE};
@@ -94,6 +95,46 @@ pub enum SteppingMode {
     Hourly,
 }
 
+/// Request-level QoS accounting for the fleet engine — the streaming
+/// pipeline at hyperscale granularity.
+///
+/// The fleet model has no per-VM traces or RNG streams, so its request
+/// load is **closed-form**: every active vCPU serves
+/// `requests_per_vcpu_hour` requests per hour at `service_ms` each, and
+/// every *traffic wake* — a drowsy host resumed by demand **before** its
+/// predicted waking date (churn placed an active VM on it; date-exact
+/// resumes are anticipated timer wakes, served warm) — charges its
+/// triggering request `resume_ms + service_ms`. Both terms are exact
+/// integer accumulation driven by state transitions the engine already
+/// computes, so the report is bit-identical across shard counts,
+/// executors and stepping modes, costs O(transitions) per epoch, and the
+/// run's physics (energy, digests) are untouched.
+#[derive(Debug, Clone)]
+pub struct FleetQosConfig {
+    /// Steady request rate per demanded (active) vCPU-hour.
+    pub requests_per_vcpu_hour: u64,
+    /// Service time of a warm request, in milliseconds.
+    pub service_ms: u64,
+    /// The SLA threshold, in milliseconds.
+    pub sla_ms: u64,
+    /// Resume latency a traffic-wake trigger pays, in milliseconds.
+    pub resume_ms: u64,
+}
+
+impl FleetQosConfig {
+    /// The paper's quick-resume web-search setup: 60 ms service, 200 ms
+    /// SLA, 800 ms S3 resume, and the DC profile's 0.1 peak rps scaled
+    /// to one vCPU-hour (360 requests).
+    pub fn paper_default() -> Self {
+        FleetQosConfig {
+            requests_per_vcpu_hour: 360,
+            service_ms: 60,
+            sla_ms: 200,
+            resume_ms: 800,
+        }
+    }
+}
+
 /// Fleet simulation parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -122,6 +163,9 @@ pub struct FleetConfig {
     /// bit-for-bit; skewing towards office/nightly classes builds the
     /// drowsy-heavy fleets where macro-stepping shines.
     pub class_mix: [u32; 4],
+    /// Request-level QoS ride-along; `None` (the default) runs the
+    /// engine exactly as before, digest included.
+    pub qos: Option<FleetQosConfig>,
 }
 
 impl FleetConfig {
@@ -141,6 +185,7 @@ impl FleetConfig {
             executor: ExecutorMode::Pool,
             stepping: SteppingMode::Macro,
             class_mix: [1, 1, 1, 1],
+            qos: None,
         }
     }
 }
@@ -176,6 +221,10 @@ pub struct FleetOutcome {
     pub drowsy_host_hours: u64,
     /// Fleet energy in kWh (ordered per-host reduce; bit-stable).
     pub energy_kwh: f64,
+    /// Request-level QoS accounting, when [`FleetConfig::qos`] asked for
+    /// it. Bit-identical across shard counts, executors and stepping
+    /// modes, like everything above.
+    pub qos: Option<QosReport>,
     /// FNV-1a fingerprint of the final fleet state and counters.
     pub digest: u64,
     /// Wall-clock spent drawing and placing churn (arrivals/departures).
@@ -339,15 +388,30 @@ struct MacroShard<'a> {
 struct ShardOutcome {
     suspended: Vec<u32>,
     woken: Vec<u32>,
+    /// Subset of `woken` resumed by demand before their waking date —
+    /// the wakes the QoS ride-along charges a trigger request.
+    traffic_woken: Vec<u32>,
+    /// Net change this epoch in the shard's summed demanded vCPUs. An
+    /// exact integer, so the fleet-wide demand sum — the QoS steady-rate
+    /// numerator — reduces order-free across shards.
+    demand_delta: i64,
+}
+
+impl ShardOutcome {
+    fn new() -> Self {
+        ShardOutcome {
+            suspended: Vec::new(),
+            woken: Vec::new(),
+            traffic_woken: Vec::new(),
+            demand_delta: 0,
+        }
+    }
 }
 
 /// Advances every host in `view` by one hour. Pure function of the
 /// shard's own columns plus the read-only context — safe from any thread.
 fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
-    let mut out = ShardOutcome {
-        suspended: Vec::new(),
-        woken: Vec::new(),
-    };
+    let mut out = ShardOutcome::new();
     for i in 0..view.power.len() {
         let slot = (view.base + i) as u32;
         // Demanded vCPUs: walk the intrusive resident list.
@@ -358,6 +422,7 @@ fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
             demand += active_vcpus(ctx.vm_class[v], ctx.vm_phase[v], ctx.vm_vcpus[v], ctx.hour);
             cur = ctx.vm_next[v];
         }
+        out.demand_delta += demand as i64 - view.demand[i] as i64;
         view.demand[i] = demand;
         let cap = ctx.vcpu_capacity[slot as usize].max(1) as f64;
         match view.power[i] {
@@ -387,6 +452,9 @@ fn advance_shard(ctx: &ShardCtx<'_>, view: &mut ShardView<'_>) -> ShardOutcome {
             PowerState::Drowsy if demand > 0 || ctx.hour >= view.waking_date[i] => {
                 // Resume on traffic or the waking date; charge the
                 // transition cycle on top of the active hour.
+                if demand > 0 && ctx.hour < view.waking_date[i] {
+                    out.traffic_woken.push(slot);
+                }
                 view.power[i] = PowerState::Active;
                 view.waking_date[i] = NO_WAKE;
                 view.wakes[i] += 1;
@@ -509,6 +577,7 @@ fn advance_host_hour(
 ) -> u64 {
     let slot = (view.base + i) as u32;
     let (demand, min_flip) = demand_and_flip(ctx, slot, agg);
+    out.demand_delta += demand as i64 - view.demand[i] as i64;
     view.demand[i] = demand;
     let cap = ctx.vcpu_capacity[slot as usize].max(1) as f64;
     match view.power[i] {
@@ -528,6 +597,9 @@ fn advance_host_hour(
             min_flip
         }
         PowerState::Drowsy if demand > 0 || ctx.hour >= view.waking_date[i] => {
+            if demand > 0 && ctx.hour < view.waking_date[i] {
+                out.traffic_woken.push(slot);
+            }
             view.power[i] = PowerState::Active;
             view.waking_date[i] = NO_WAKE;
             view.wakes[i] += 1;
@@ -560,10 +632,7 @@ fn advance_shard_macro(
     view: &mut ShardView<'_>,
     m: MacroShard<'_>,
 ) -> ShardOutcome {
-    let mut out = ShardOutcome {
-        suspended: Vec::new(),
-        woken: Vec::new(),
-    };
+    let mut out = ShardOutcome::new();
     // Entries superseded by a churn touch (which clamps `next_change`
     // and reports through `touched`) are stale; duplicates from a
     // touch-then-repush cycle land in the same bucket and dedup below.
@@ -656,6 +725,11 @@ pub struct FleetSim {
     peak_w: f64,
     s3_w: f64,
     cycle_wh: f64,
+    /// Fleet-wide demanded vCPUs for the hour last advanced — the QoS
+    /// steady-rate numerator, maintained by exact integer deltas.
+    qos_demand_vcpus: u64,
+    /// Run-wide streaming QoS accumulation (`cfg.qos` runs only).
+    qos: Option<QosReport>,
     churn_ns: u128,
     control_ns: u128,
     advance_ns: u128,
@@ -705,6 +779,8 @@ impl FleetSim {
             peak_w: model.peak_watts,
             s3_w: model.suspended_watts,
             cycle_wh: model.transition_watts * cycle_secs / 3600.0,
+            qos_demand_vcpus: 0,
+            qos: None,
             churn_ns: 0,
             control_ns: 0,
             advance_ns: 0,
@@ -715,6 +791,7 @@ impl FleetSim {
         if sim.cfg.stepping == SteppingMode::Macro {
             sim.mac = Some(MacroState::new(sim.cfg.hosts, sim.effective_shards()));
         }
+        sim.qos = sim.cfg.qos.as_ref().map(|q| QosReport::new(q.sla_ms));
         for _ in 0..sim.cfg.vms {
             sim.arrival();
         }
@@ -756,6 +833,12 @@ impl FleetSim {
     /// Rejected arrivals so far.
     pub fn rejections(&self) -> u64 {
         self.rejections
+    }
+
+    /// The streaming QoS accumulation so far (`cfg.qos` runs only) —
+    /// inspectable mid-run, cloned into [`FleetOutcome::qos`] at the end.
+    pub fn qos_report(&self) -> Option<&QosReport> {
+        self.qos.as_ref()
     }
 
     /// Total energy host `slot` has drawn so far, in watt-hours: the
@@ -913,6 +996,7 @@ impl FleetSim {
         for out in outcomes {
             self.suspends += out.suspended.len() as u64;
             self.resumes += out.woken.len() as u64;
+            self.qos_demand_vcpus = (self.qos_demand_vcpus as i64 + out.demand_delta) as u64;
             if let (Some(awake), Some(asleep)) = (&mut self.awake, &mut self.asleep) {
                 for &slot in &out.suspended {
                     awake.park(slot);
@@ -923,6 +1007,20 @@ impl FleetSim {
                     asleep.park(slot);
                 }
             }
+            if let (Some(qcfg), Some(report)) = (&self.cfg.qos, &mut self.qos) {
+                // Each traffic wake's trigger request pays the resume.
+                for _ in &out.traffic_woken {
+                    report.record(qcfg.resume_ms + qcfg.service_ms, true);
+                }
+            }
+        }
+        if let (Some(qcfg), Some(report)) = (&self.cfg.qos, &mut self.qos) {
+            // The hour's steady load, served warm: one bulk record at the
+            // demand sum the merge just settled.
+            report.record_n(
+                qcfg.service_ms,
+                self.qos_demand_vcpus * qcfg.requests_per_vcpu_hour,
+            );
         }
         self.control_ns += t2.elapsed().as_nanos();
         self.hour = hour + 1;
@@ -1165,6 +1263,7 @@ impl FleetSim {
             active_host_hours: active,
             drowsy_host_hours: drowsy,
             energy_kwh: energy_wh / 1000.0,
+            qos: self.qos.clone(),
             digest: self.digest(),
             churn_ms: self.churn_ns as f64 / 1e6,
             control_ms: self.control_ns as f64 / 1e6,
@@ -1396,6 +1495,59 @@ mod tests {
         assert_ne!(d2, d3, "admitting a VM must change the digest");
         assert_eq!(sim.digest_computes, computes + 2);
         assert_eq!(sim.compute_digest(), d3);
+    }
+
+    #[test]
+    fn fleet_qos_is_exact_and_invariant_across_the_engine_grid() {
+        let qos_cfg = || FleetConfig {
+            qos: Some(FleetQosConfig::paper_default()),
+            ..base_cfg()
+        };
+        let reference = run_fleet(FleetConfig {
+            stepping: SteppingMode::Hourly,
+            shards: 1,
+            ..qos_cfg()
+        });
+        let report = reference.qos.as_ref().expect("qos runs carry a report");
+        assert!(report.total > 0, "the fleet serves steady load");
+        assert!(
+            report.wake_hits > 0,
+            "churn places active VMs on drowsy hosts"
+        );
+        assert_eq!(
+            report.wake_violations, report.wake_hits,
+            "every 860 ms traffic wake breaches the 200 ms SLA"
+        );
+        assert_eq!(report.worst_wake_ms, 800 + 60);
+        assert!(report.wake_hits <= reference.resumes, "subset of resumes");
+        // The ride-along leaves the physics untouched: same digest as the
+        // qos-less run.
+        let plain = run_fleet(FleetConfig {
+            stepping: SteppingMode::Hourly,
+            shards: 1,
+            ..base_cfg()
+        });
+        assert_eq!(reference.digest, plain.digest);
+        assert!(plain.qos.is_none());
+        // And the report is bit-identical across the whole engine grid.
+        for stepping in [SteppingMode::Hourly, SteppingMode::Macro] {
+            for executor in [ExecutorMode::Scoped, ExecutorMode::Pool] {
+                for shards in [1, 3, 7] {
+                    let other = run_fleet(FleetConfig {
+                        stepping,
+                        executor,
+                        shards,
+                        ..qos_cfg()
+                    });
+                    assert_same_bits(&reference, &other);
+                    assert_eq!(
+                        other.qos.as_ref().expect("report"),
+                        report,
+                        "{stepping:?}/{executor:?}/{shards}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod workload;
 
 pub use arena::{HostColumns, PowerState, VmArena, VmRef};
 pub use engine::{
-    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetSim, PlacementMode, SteppingMode,
+    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetQosConfig, FleetSim, PlacementMode,
+    SteppingMode,
 };
 pub use workload::WorkloadClass;

@@ -52,7 +52,8 @@ pub use datacenter::{
     WakeRecord,
 };
 pub use fleet::{
-    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetSim, PlacementMode, SteppingMode,
+    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetQosConfig, FleetSim, PlacementMode,
+    SteppingMode,
 };
 pub use registry::{PolicyEntry, PolicyRegistry};
 pub use spec::{HostSpec, VmMemberSpec, VmSpec, WorkloadKind};

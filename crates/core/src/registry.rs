@@ -13,10 +13,13 @@
 //! | `neat`      | Neat       | OpenStack Neat, always-on |
 //! | `oasis`     | Oasis      | hybrid consolidation via parking |
 //! | `sleepscale`| SleepScale | joint speed scaling + sleep states |
+//! | `sla-aware` | SLA-aware  | Drowsy-DC + QoS-driven suspend veto (needs [`DcConfig::qos_stream`]) |
 
 use crate::datacenter::DcConfig;
 use dds_placement::policy::ControlPolicy;
-use dds_placement::{DrowsyPolicy, NeatPolicy, OasisConfig, OasisPolicy, SleepScalePolicy};
+use dds_placement::{
+    DrowsyPolicy, NeatPolicy, OasisConfig, OasisPolicy, SlaAwarePolicy, SleepScalePolicy,
+};
 use dds_sim_core::HostId;
 
 /// One registered policy: metadata plus a factory closing over nothing
@@ -126,6 +129,12 @@ impl PolicyRegistry {
                     needs_consolidation_host: false,
                     build: |cfg, _| Box::new(SleepScalePolicy::new(cfg.sleepscale.clone())),
                 },
+                PolicyEntry {
+                    name: "sla-aware",
+                    label: "SLA-aware",
+                    needs_consolidation_host: false,
+                    build: |cfg, _| Box::new(SlaAwarePolicy::new(cfg.drowsy.clone())),
+                },
             ],
         }
     }
@@ -182,7 +191,14 @@ mod tests {
         let reg = PolicyRegistry::standard();
         assert_eq!(
             reg.names(),
-            vec!["drowsy-dc", "neat-s3", "neat", "oasis", "sleepscale"]
+            vec![
+                "drowsy-dc",
+                "neat-s3",
+                "neat",
+                "oasis",
+                "sleepscale",
+                "sla-aware"
+            ]
         );
         let cfg = DcConfig::paper_default();
         for entry in reg.entries() {
@@ -231,7 +247,7 @@ mod tests {
             reg.get("neat").expect("still present").label,
             "Neat (custom)"
         );
-        assert_eq!(reg.entries().len(), 5, "replaced, not duplicated");
+        assert_eq!(reg.entries().len(), 6, "replaced, not duplicated");
     }
 
     #[test]

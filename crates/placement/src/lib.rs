@@ -33,6 +33,11 @@
 //!   every host per decision (bit-identical to the reference scan).
 //! * [`sleepscale`] — a SleepScale-inspired joint speed-scaling +
 //!   sleep-state policy proving the seam admits genuinely new algorithms.
+//! * [`sla_aware`] — Drowsy-DC planning plus a QoS-driven suspend veto:
+//!   the first consumer of the streaming [`QosWindow`] feedback seam
+//!   ([`ControlPolicy::observe_qos`] / [`ControlPolicy::allow_suspend`]).
+//!
+//! [`QosWindow`]: dds_sim_core::qos::QosWindow
 
 #![warn(missing_docs)]
 
@@ -44,6 +49,7 @@ pub mod multiplex;
 pub mod neat;
 pub mod oasis;
 pub mod policy;
+pub mod sla_aware;
 pub mod sleepscale;
 pub mod types;
 
@@ -59,5 +65,6 @@ pub use oasis::{OasisConfig, OasisPlanner};
 pub use policy::{
     ControlPlan, ControlPolicy, DrowsyPolicy, NeatPolicy, OasisPolicy, PlanningView, SleepDepth,
 };
+pub use sla_aware::SlaAwarePolicy;
 pub use sleepscale::{SleepScaleConfig, SleepScalePolicy};
 pub use types::{ClusterState, ConsolidationPlan, HostState, Migration, VmState};

@@ -41,6 +41,7 @@ use crate::oasis::{OasisConfig, OasisPlanner};
 use crate::types::{ClusterState, ConsolidationPlan, Migration};
 use crate::{DrowsyConfig, DrowsyPlanner};
 use dds_hostos::SuspendConfig;
+use dds_sim_core::qos::QosWindow;
 use dds_sim_core::{HostId, SimRng, SimTime};
 
 /// How deep a fully idle host is allowed to sleep.
@@ -190,6 +191,24 @@ pub trait ControlPolicy: Send {
     /// service times by `1/f`. The default runs at full clock.
     fn active_frequency(&self, _host: HostId, _utilization: f64) -> f64 {
         1.0
+    }
+
+    /// Closed-loop QoS signal: the streaming pipeline's [`QosWindow`] for
+    /// the epoch that just closed, with per-host wake attribution.
+    /// Delivered at the top of each control epoch *before* planning, and
+    /// only on runs that stream QoS (`DcConfig::qos_stream` /
+    /// `FleetConfig::qos`) — policies must behave sensibly when it never
+    /// fires. The default ignores the signal, keeping every existing
+    /// policy bit-identical whether or not streaming is on.
+    fn observe_qos(&mut self, _window: &QosWindow) {}
+
+    /// Per-host suspend veto, consulted when the controller is about to
+    /// park an idle host: returning `false` keeps the host powered this
+    /// hour (it is reconsidered every hour). SLA-aware policies use this
+    /// to hold hosts that are currently absorbing wake-induced violations
+    /// out of S3. The default permits every suspend.
+    fn allow_suspend(&self, _host: HostId) -> bool {
+        true
     }
 }
 
@@ -375,6 +394,14 @@ mod tests {
         );
         let base = SuspendConfig::paper_default();
         assert_eq!(p.shape_suspend_config(&base), base);
+        // The closed-loop hooks default to inert: every suspend allowed,
+        // QoS windows ignored (legacy policies stay bit-identical on
+        // streaming runs).
+        assert!(p.allow_suspend(HostId(0)));
+        let mut w = QosWindow::new(0, 200);
+        w.record(0, 5_000, true);
+        p.observe_qos(&w);
+        assert!(p.allow_suspend(HostId(0)), "default ignores the signal");
 
         let state = ClusterState::new(vec![host(0, 0, vec![vm(0, 0.1, 0.0)]), host(1, 0, vec![])]);
         let (vm_hist, host_hist) = view_of(&state);

@@ -28,4 +28,4 @@ pub mod timeline;
 pub use meter::{DcEnergyAccount, EnergyMeter};
 pub use model::{HostPowerModel, TransitionTimings};
 pub use state::{PowerState, PowerStateMachine, TransitionError, WakeSpeed};
-pub use timeline::{PowerInterval, PowerTimeline};
+pub use timeline::{PowerInterval, PowerTimeline, TimelineCursor};

@@ -28,19 +28,34 @@
 //! with bit-identical merged reports (all [`QosReport`] state is exact
 //! integer accumulation; see `dds_sim_core::stats::LatencyHistogram`).
 //!
+//! ## Throughput
+//!
+//! [`replay`] is the interval-batched fast path: whole hours of arrivals
+//! *and* service times are drawn in one [`RequestStream`] batch (no
+//! per-request allocation), placement and power-state lookups go through
+//! monotone cursors ([`TimelineCursor`], the residency cursor) so each is
+//! O(1) amortized, and the pool fan-out hands each worker a *chunk* of
+//! VMs sharing one report and one stream buffer instead of allocating a
+//! histogram per VM. [`replay_per_request`] keeps the original
+//! event-per-request walk as the ground-truth reference: the batched path
+//! is pinned bit-identical to it by tests and benchmarked against it by
+//! the `qos_replay` Criterion group.
+//!
 //! Deliberately out of scope: DVFS service stretching (SleepScale's
 //! downclocking is charged in energy, not replayed here) and request
-//! feedback into power decisions (the run's wake instants come from the
-//! simulation's own first-packet model).
+//! feedback into power decisions — that loop is closed by the *streaming*
+//! pipeline inside `dds-core` (`QosStreamConfig`), which shares this
+//! module's semantics and RNG streams and is therefore bit-identical to
+//! this replay wherever both run.
 
 use crate::report::QosReport;
 use dds_core::cluster::{ClusterOutcome, ClusterSpec};
 use dds_core::datacenter::{DcOutcome, PlacementRecord};
 use dds_core::registry::PolicyRegistry;
 use dds_core::spec::{VmSpec, WorkloadKind};
-use dds_power::PowerTimeline;
+use dds_power::{PowerTimeline, TimelineCursor};
 use dds_sim_core::{SimRng, SimTime, WorkerPool};
-use dds_traces::{RequestGenerator, RequestProfile};
+use dds_traces::{RequestGenerator, RequestProfile, RequestStream};
 
 /// Configuration of a QoS replay.
 #[derive(Debug, Clone)]
@@ -68,8 +83,8 @@ impl Default for QosConfig {
     }
 }
 
-/// The placement history of one VM: `(from, host)` assignments in time
-/// order.
+/// The placement history of one VM: `(from, host)` assignment spans in
+/// time order, precomputed once per replay from the placement log.
 #[derive(Debug, Clone, Default)]
 struct VmResidency {
     moves: Vec<(SimTime, dds_sim_core::HostId)>,
@@ -79,6 +94,29 @@ impl VmResidency {
     fn host_at(&self, t: SimTime) -> Option<dds_sim_core::HostId> {
         let i = self.moves.partition_point(|&(at, _)| at <= t);
         i.checked_sub(1).map(|i| self.moves[i].1)
+    }
+}
+
+/// Monotone cursor over one [`VmResidency`]: remembers the last span hit
+/// and walks forward, so a time-ordered request stream resolves hosts in
+/// O(1) amortized. Backward jumps fall back to binary search (always
+/// correct, like [`TimelineCursor`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct ResidencyCursor {
+    /// `partition_point` of the last queried instant.
+    idx: usize,
+}
+
+impl ResidencyCursor {
+    fn host_at(&mut self, res: &VmResidency, t: SimTime) -> Option<dds_sim_core::HostId> {
+        if self.idx > 0 && res.moves[self.idx - 1].0 > t {
+            self.idx = res.moves.partition_point(|&(at, _)| at <= t);
+        } else {
+            while self.idx < res.moves.len() && res.moves[self.idx].0 <= t {
+                self.idx += 1;
+            }
+        }
+        self.idx.checked_sub(1).map(|i| res.moves[i].1)
     }
 }
 
@@ -96,10 +134,29 @@ fn residencies(placements: &[PlacementRecord], slots: usize) -> Vec<VmResidency>
     per_vm
 }
 
-/// Replays one VM's request stream. Everything this touches is derived
-/// from `(seed, vm index)` and the run's recorded state, so the result is
-/// a pure function — the unit of parallelism.
-fn replay_vm(
+/// The FCFS service step and the wake-episode resolution are shared with
+/// the streaming engine (`dds-core`) via `dds_sim_core::qos` — one
+/// implementation, so the two pipelines agree to the bit by construction.
+use dds_sim_core::qos::{fcfs_serve, power_ready_at};
+
+/// Serves one request into `report` (see [`fcfs_serve`]).
+#[inline]
+fn serve_request(
+    report: &mut QosReport,
+    free: &mut [SimTime],
+    arrival: SimTime,
+    service: dds_sim_core::SimDuration,
+    power_ready: SimTime,
+) {
+    let (latency_ms, wake_hit) = fcfs_serve(free, arrival, service, power_ready);
+    report.record(latency_ms, wake_hit);
+}
+
+/// Replays one VM's request stream, event per request — the original
+/// (PR 5) path, kept as the ground truth the batched pipeline is pinned
+/// against. Everything this touches is derived from `(seed, vm index)`
+/// and the run's recorded state, so the result is a pure function.
+fn replay_vm_reference(
     vm: &VmSpec,
     residency: &VmResidency,
     timelines: &[PowerTimeline],
@@ -139,55 +196,91 @@ fn replay_vm(
                 report.unserved += 1;
                 continue;
             };
-            let power_ready = if operational == arrival {
-                arrival
-            } else {
-                // The (resume_start, operational) window of this episode;
-                // an aborted suspend resolves to a zero-length window.
-                let (resume_start, resume_end) = timeline
-                    .resume_window_after(arrival)
-                    .unwrap_or((operational, operational));
-                let resume = resume_end.saturating_since(resume_start);
-                let ready = match episode {
-                    Some((end, ready)) if end == resume_end => ready,
-                    _ => {
-                        // First request of the episode: the paper's wake
-                        // trigger. Parked-state arrivals fire the wake at
-                        // their own instant and pay exactly the resume
-                        // latency; mid-resume arrivals join a wake that
-                        // was already in flight.
-                        let ready = if arrival <= resume_start {
-                            arrival + resume
-                        } else {
-                            resume_end
-                        };
-                        episode = Some((resume_end, ready));
-                        ready
-                    }
-                };
-                ready.max(arrival)
-            };
-            // FCFS onto the earliest-free server.
-            let slot = (0..servers)
-                .min_by_key(|&i| free[i])
-                .expect("at least one server");
-            let start = power_ready.max(free[slot]);
-            let done = start + service;
-            free[slot] = done;
-            let latency_ms = done.saturating_since(arrival).as_millis();
-            report.record(latency_ms, power_ready > arrival);
+            let window = (operational != arrival)
+                .then(|| timeline.resume_window_after(arrival))
+                .flatten();
+            let power_ready = power_ready_at(operational, arrival, window, &mut episode);
+            serve_request(&mut report, &mut free, arrival, service, power_ready);
         }
     }
     report
 }
 
+/// Replays one VM interval-batched into a shared chunk `report`: whole
+/// hours of arrivals and services come out of `stream` in one batch, and
+/// placement/power lookups ride monotone cursors. Bit-identical to
+/// [`replay_vm_reference`] — same RNG draw order (all gaps, then all
+/// service times, per hour), same FCFS arithmetic, same record order.
+#[allow(clippy::too_many_arguments)]
+fn replay_vm_batched(
+    vm: &VmSpec,
+    residency: &VmResidency,
+    timelines: &[PowerTimeline],
+    cfg: &QosConfig,
+    seed: u64,
+    hours: u64,
+    stream: &mut RequestStream,
+    free: &mut Vec<SimTime>,
+    report: &mut QosReport,
+) {
+    if vm.kind != WorkloadKind::Interactive {
+        return;
+    }
+    stream.reset(SimRng::new(seed).stream_indexed("qos-requests", vm.id.index() as u64));
+    let servers = (vm.vcpus.round() as usize).max(1);
+    free.clear();
+    free.resize(servers, SimTime::EPOCH);
+    let mut episode: Option<(SimTime, SimTime)> = None;
+    let mut res_cursor = ResidencyCursor::default();
+    let mut tl_cursor = TimelineCursor::new();
+
+    for hour in 0..hours {
+        let level = vm.trace.level_at_hour(hour);
+        if level < cfg.noise {
+            continue;
+        }
+        stream.fill_hour(hour, level);
+        let (arrivals, services) = stream.emit_rest();
+        for (&arrival, &service) in arrivals.iter().zip(services) {
+            let Some(host) = res_cursor.host_at(residency, arrival) else {
+                report.unserved += 1;
+                continue;
+            };
+            // One cursor serves every host this VM visits: arrivals are
+            // monotone, and the cursor's backward fallback makes a host
+            // switch at worst one binary search.
+            let timeline = &timelines[host.index()];
+            let Some(operational) = tl_cursor.operational_from(timeline, arrival) else {
+                report.unserved += 1;
+                continue;
+            };
+            let window = (operational != arrival)
+                .then(|| tl_cursor.resume_window_after(timeline, arrival))
+                .flatten();
+            let power_ready = power_ready_at(operational, arrival, window, &mut episode);
+            serve_request(report, free, arrival, service, power_ready);
+        }
+    }
+}
+
+fn worker_count(threads: usize, n: usize) -> usize {
+    if threads == 0 {
+        dds_core::sweep::auto_threads(n)
+    } else {
+        threads.min(n.max(1))
+    }
+}
+
 /// Replays every VM of a finished run and returns the merged
-/// [`QosReport`]. `outcome` must carry power timelines and a placement
-/// log (run with `DcConfig::track_power_timeline = true`); `vms` is the
-/// run's VM population (same specs, same order). Fans the per-VM replays
-/// out over `threads` workers of the persistent [`WorkerPool`] (0 = one
-/// per available core); per-VM shards merge in VM order, so the report
-/// is bit-identical for any thread count.
+/// [`QosReport`] — the interval-batched fast path. `outcome` must carry
+/// power timelines and a placement log (run with
+/// `DcConfig::track_power_timeline = true`); `vms` is the run's VM
+/// population (same specs, same order). Fans VM *chunks* out over
+/// `threads` workers of the persistent [`WorkerPool`] (0 = one per
+/// available core); each chunk accumulates into a single report with
+/// reused stream/server buffers, and chunk shards merge in order — the
+/// report is bit-identical for any thread count (and to
+/// [`replay_per_request`]).
 pub fn replay(
     vms: &[VmSpec],
     outcome: &DcOutcome,
@@ -201,18 +294,76 @@ pub fn replay(
     );
     let residency = residencies(&outcome.placements, vms.len());
     let n = vms.len();
-    let workers = if threads == 0 {
-        dds_core::sweep::auto_threads(n)
-    } else {
-        threads.min(n.max(1))
-    };
+    let workers = worker_count(threads, n);
+    // A few chunks per worker keeps the pool busy when VM costs are
+    // skewed, while still amortizing buffer reuse across many VMs.
+    let chunk = n.div_ceil((workers * 4).max(1)).max(1);
+    let residency = &residency;
+    let sla_ms = cfg.profile.sla.as_millis();
+    let shards = WorkerPool::global().run_ordered(
+        workers,
+        (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                move || {
+                    let mut report = QosReport::new(sla_ms);
+                    let mut stream = RequestStream::new(cfg.profile.clone(), SimRng::new(0));
+                    let mut free = Vec::new();
+                    for i in start..end {
+                        replay_vm_batched(
+                            &vms[i],
+                            &residency[i],
+                            &outcome.timelines,
+                            cfg,
+                            seed,
+                            outcome.hours,
+                            &mut stream,
+                            &mut free,
+                            &mut report,
+                        );
+                    }
+                    report
+                }
+            })
+            .collect(),
+    );
+    let mut report = QosReport::new(sla_ms);
+    for shard in &shards {
+        report.merge(shard);
+    }
+    report
+}
+
+/// The original event-per-request replay: one task and one freshly
+/// allocated report per VM, plain (uncursored) timeline lookups. Kept as
+/// the reference implementation the batched [`replay`] is pinned against
+/// and as the baseline of the `qos_replay` Criterion bench. Identical
+/// semantics and results; lower throughput (both paths share the Poisson
+/// sampling that bit-identity mandates, so the batched win comes from
+/// the cursors and the amortized buffers — ~1.3× at a 10k-host scenario,
+/// see `results/BENCH_qos.json`).
+pub fn replay_per_request(
+    vms: &[VmSpec],
+    outcome: &DcOutcome,
+    cfg: &QosConfig,
+    seed: u64,
+    threads: usize,
+) -> QosReport {
+    assert!(
+        !outcome.timelines.is_empty() || vms.is_empty(),
+        "QoS replay needs power timelines: run with DcConfig::track_power_timeline = true"
+    );
+    let residency = residencies(&outcome.placements, vms.len());
+    let n = vms.len();
+    let workers = worker_count(threads, n);
     let residency = &residency;
     let shards = WorkerPool::global().run_ordered(
         workers,
         (0..n)
             .map(|i| {
                 move || {
-                    replay_vm(
+                    replay_vm_reference(
                         &vms[i],
                         &residency[i],
                         &outcome.timelines,
@@ -288,10 +439,11 @@ mod tests {
         .generate(hours, &mut SimRng::new(seed))
     }
 
-    fn run_small(
+    fn run_small_with(
         algorithm: Algorithm,
         traces: Vec<VmTrace>,
         hours: u64,
+        tweak: impl FnOnce(&mut DcConfig),
     ) -> (Vec<VmSpec>, DcOutcome) {
         let hosts = vec![
             HostSpec::testbed_machine(HostId(0), "P0"),
@@ -311,10 +463,20 @@ mod tests {
             .collect();
         let placement: Vec<HostId> = (0..vms.len()).map(|i| HostId((i % 2) as u32)).collect();
         let mut cfg = DcConfig::paper_default();
-        cfg.track_power_timeline = true;
+        tweak(&mut cfg);
         let mut dc = Datacenter::new(cfg, algorithm, hosts, vms.clone(), placement, None, 7);
         dc.run(hours);
         (vms, dc.finish())
+    }
+
+    fn run_small(
+        algorithm: Algorithm,
+        traces: Vec<VmTrace>,
+        hours: u64,
+    ) -> (Vec<VmSpec>, DcOutcome) {
+        run_small_with(algorithm, traces, hours, |cfg| {
+            cfg.track_power_timeline = true
+        })
     }
 
     #[test]
@@ -381,6 +543,69 @@ mod tests {
         assert_eq!(serial, parallel, "1-vs-N thread reports are identical");
         assert_eq!(serial, auto);
         assert!(serial.total > 0);
+    }
+
+    #[test]
+    fn batched_replay_matches_the_per_request_reference() {
+        // The acceptance criterion: the interval-batched pipeline is
+        // bit-identical to the event-per-request reference — histogram
+        // buckets, exact counters, worst-case latencies — for both a
+        // parking and a non-parking run, at any thread count.
+        for algorithm in [Algorithm::DrowsyDc, Algorithm::NeatNoSuspend] {
+            let hours = 96;
+            let (vms, out) = run_small(
+                algorithm,
+                vec![bursty(96, 1), bursty(96, 2), bursty(96, 3)],
+                hours,
+            );
+            let cfg = QosConfig::paper_default();
+            let reference = replay_per_request(&vms, &out, &cfg, 7, 1);
+            for threads in [1, 2, 4, 0] {
+                let batched = replay(&vms, &out, &cfg, 7, threads);
+                assert_eq!(batched, reference, "threads = {threads}");
+            }
+            assert_eq!(replay_per_request(&vms, &out, &cfg, 7, 3), reference);
+            assert!(reference.total > 0);
+        }
+    }
+
+    #[test]
+    fn streaming_report_is_bit_identical_to_the_post_hoc_replay() {
+        // The tentpole acceptance criterion: a run evaluating QoS *inline*
+        // (DcConfig::qos_stream, trimmed timelines, no placement log)
+        // produces exactly the report the post-hoc replay computes from a
+        // fully-recorded twin of the same run — exact counters, histogram
+        // buckets and worst-case latencies — at any worker-thread count on
+        // the streaming side.
+        use dds_core::datacenter::QosStreamConfig;
+        for algorithm in [Algorithm::DrowsyDc, Algorithm::NeatNoSuspend] {
+            let hours = 96;
+            let traces = vec![bursty(96, 1), bursty(96, 2), bursty(96, 3), bursty(96, 4)];
+            let (vms, out) = run_small(algorithm, traces.clone(), hours);
+            let cfg = QosConfig::paper_default();
+            let posthoc = replay(&vms, &out, &cfg, 7, 0);
+            assert!(posthoc.total > 0);
+            for threads in [1usize, 3, 0] {
+                let (_, streamed) = run_small_with(algorithm, traces.clone(), hours, |c| {
+                    c.qos_stream = Some(QosStreamConfig {
+                        profile: cfg.profile.clone(),
+                        threads,
+                    });
+                });
+                // Streaming must not perturb the run's physics…
+                assert_eq!(
+                    streamed.energy_kwh.to_bits(),
+                    out.energy_kwh.to_bits(),
+                    "the ride-along pipeline leaves the simulation untouched"
+                );
+                // …retains nothing whole-run…
+                assert!(streamed.timelines.is_empty(), "no timeline retention");
+                assert!(streamed.placements.is_empty(), "no placement log");
+                // …and reports exactly what the replay would.
+                let qos = streamed.qos.expect("streaming run surfaces a report");
+                assert_eq!(qos, posthoc, "{algorithm:?}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,191 +1,9 @@
 //! The QoS report: tail latencies, SLA attainment and violation
 //! attribution for one policy run.
+//!
+//! The accumulator types themselves live in `dds_sim_core::qos` (they are
+//! shared with the streaming per-epoch pipeline inside `dds-core`, which
+//! cannot depend on this crate); this module re-exports them under their
+//! historical home so `dds_qos::QosReport` keeps working.
 
-use dds_sim_core::stats::LatencyHistogram;
-
-/// Aggregated request-level QoS of one run: a latency histogram plus the
-/// exact SLA counters the paper reports against ("more than 99 % of the
-/// web search requests were serviced within 200 ms").
-///
-/// Every field is an exact integer accumulator (or the log-bucketed
-/// [`LatencyHistogram`], itself pure `u64` state), so
-/// [`QosReport::merge`] is associative and commutative: folding per-VM
-/// shards in any order — one worker thread or sixteen — produces a
-/// bit-identical report. The `integration_qos` suite and the `qos-smoke`
-/// CI job pin this.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QosReport {
-    /// End-to-end request latencies (arrival → service completion), ms.
-    pub latencies: LatencyHistogram,
-    /// Total requests replayed.
-    pub total: u64,
-    /// Requests within the SLA threshold.
-    pub under_sla: u64,
-    /// Requests that waited on a host wake (arrived while their host was
-    /// parked or mid-resume).
-    pub wake_hits: u64,
-    /// SLA violations charged to host wakes (the request waited on a
-    /// resume).
-    pub wake_violations: u64,
-    /// SLA violations charged to queueing/service on an awake host.
-    pub queue_violations: u64,
-    /// Worst latency paid by a wake-hit request, ms (0 when none).
-    pub worst_wake_ms: u64,
-    /// Requests that could not be served within the recorded timeline
-    /// (host parked through the end of the run). Excluded from the
-    /// latency histogram; nonzero values flag a truncated replay.
-    pub unserved: u64,
-    /// The SLA threshold the counters were judged against, ms.
-    pub sla_ms: u64,
-}
-
-impl QosReport {
-    /// Creates an empty report judging against `sla_ms`.
-    pub fn new(sla_ms: u64) -> Self {
-        QosReport {
-            latencies: LatencyHistogram::new(),
-            total: 0,
-            under_sla: 0,
-            wake_hits: 0,
-            wake_violations: 0,
-            queue_violations: 0,
-            worst_wake_ms: 0,
-            unserved: 0,
-            sla_ms,
-        }
-    }
-
-    /// Records one served request.
-    pub fn record(&mut self, latency_ms: u64, wake_hit: bool) {
-        self.latencies.record(latency_ms);
-        self.total += 1;
-        if latency_ms <= self.sla_ms {
-            self.under_sla += 1;
-        } else if wake_hit {
-            self.wake_violations += 1;
-        } else {
-            self.queue_violations += 1;
-        }
-        if wake_hit {
-            self.wake_hits += 1;
-            self.worst_wake_ms = self.worst_wake_ms.max(latency_ms);
-        }
-    }
-
-    /// Fraction of requests within the SLA (1.0 when no requests — an
-    /// idle run violates nothing).
-    pub fn sla_attainment(&self) -> f64 {
-        if self.total == 0 {
-            1.0
-        } else {
-            self.under_sla as f64 / self.total as f64
-        }
-    }
-
-    /// Total SLA violations.
-    pub fn violations(&self) -> u64 {
-        self.total - self.under_sla
-    }
-
-    /// Median latency in ms (`None` when empty).
-    pub fn p50(&self) -> Option<f64> {
-        self.latencies.quantile(0.50)
-    }
-
-    /// 95th-percentile latency in ms.
-    pub fn p95(&self) -> Option<f64> {
-        self.latencies.quantile(0.95)
-    }
-
-    /// 99th-percentile latency in ms — the paper's SLA percentile.
-    pub fn p99(&self) -> Option<f64> {
-        self.latencies.quantile(0.99)
-    }
-
-    /// 99.9th-percentile latency in ms — where the wake tail lives.
-    pub fn p999(&self) -> Option<f64> {
-        self.latencies.quantile(0.999)
-    }
-
-    /// Merges another shard into this one. Exact, associative and
-    /// commutative; panics if the shards judged different SLAs.
-    pub fn merge(&mut self, other: &QosReport) {
-        assert_eq!(
-            self.sla_ms, other.sla_ms,
-            "merging QoS shards judged against different SLAs"
-        );
-        self.latencies.merge(&other.latencies);
-        self.total += other.total;
-        self.under_sla += other.under_sla;
-        self.wake_hits += other.wake_hits;
-        self.wake_violations += other.wake_violations;
-        self.queue_violations += other.queue_violations;
-        self.worst_wake_ms = self.worst_wake_ms.max(other.worst_wake_ms);
-        self.unserved += other.unserved;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_partition_the_requests() {
-        let mut r = QosReport::new(200);
-        r.record(50, false);
-        r.record(150, true); // wake-hit but still within SLA
-        r.record(900, true); // wake-charged violation
-        r.record(250, false); // queue-charged violation
-        assert_eq!(r.total, 4);
-        assert_eq!(r.under_sla, 2);
-        assert_eq!(r.violations(), 2);
-        assert_eq!(r.wake_violations, 1);
-        assert_eq!(r.queue_violations, 1);
-        assert_eq!(r.wake_hits, 2);
-        assert_eq!(r.worst_wake_ms, 900);
-        assert!((r.sla_attainment() - 0.5).abs() < 1e-12);
-        // Histogram quantiles report the containing bucket's upper bound
-        // (here one bucket width above the exact 150 ms sample).
-        let p50 = r.p50().expect("non-empty");
-        assert!((150.0..152.0).contains(&p50), "{p50}");
-    }
-
-    #[test]
-    fn empty_report_is_benign() {
-        let r = QosReport::new(200);
-        assert_eq!(r.sla_attainment(), 1.0);
-        assert_eq!(r.violations(), 0);
-        assert_eq!(r.p99(), None);
-    }
-
-    #[test]
-    fn merge_equals_sequential_build() {
-        let reqs = [(50u64, false), (900, true), (120, false), (300, false)];
-        let mut whole = QosReport::new(200);
-        let mut a = QosReport::new(200);
-        let mut b = QosReport::new(200);
-        for (i, &(ms, wake)) in reqs.iter().enumerate() {
-            whole.record(ms, wake);
-            if i % 2 == 0 {
-                a.record(ms, wake);
-            } else {
-                b.record(ms, wake);
-            }
-        }
-        let mut ab = a.clone();
-        ab.merge(&b);
-        let mut ba = b.clone();
-        ba.merge(&a);
-        assert_eq!(ab, whole);
-        assert_eq!(ab.total, ba.total);
-        assert_eq!(ab.under_sla, ba.under_sla);
-        assert_eq!(ab.p999(), ba.p999());
-    }
-
-    #[test]
-    #[should_panic(expected = "different SLAs")]
-    fn merging_mismatched_slas_panics() {
-        let mut a = QosReport::new(200);
-        a.merge(&QosReport::new(100));
-    }
-}
+pub use dds_sim_core::qos::{HostWakeQos, QosReport, QosWindow};

@@ -327,7 +327,7 @@ name = sla-web-front
 summary = Bursty web frontends with a request-level SLA; the power-vs-tail-latency Pareto
 days = 7
 seed = 42
-policies = drowsy-dc, neat-s3, neat
+policies = drowsy-dc, sla-aware, neat-s3, neat
 
 [qos]
 peak-rps = 0.1

@@ -1,10 +1,24 @@
 //! Running scenarios through the parallel sweep machinery.
 
 use crate::scenario::Scenario;
+use dds_core::datacenter::QosStreamConfig;
 use dds_core::registry::PolicyRegistry;
 use dds_core::sweep::{run_sweep_with, SweepOutcome};
 use dds_qos::{replay, QosConfig, QosReport};
 use dds_traces::RequestProfile;
+
+/// How a scenario's request-level QoS is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosMode {
+    /// Record the whole run (power timelines + placement log), then
+    /// replay the request streams against it — the reference pipeline.
+    PostHoc,
+    /// Evaluate inline with the run ([`QosStreamConfig`]): per-epoch
+    /// windows, trimmed timelines, constant memory — and the closed-loop
+    /// signal seam (policies observe each epoch's window). Bit-identical
+    /// to [`QosMode::PostHoc`] for open-loop policies.
+    Streaming,
+}
 
 /// Runs a scenario's full policy sweep against the standard registry,
 /// fanning out over `threads` workers (0 = one per available core).
@@ -54,6 +68,28 @@ pub fn run_scenario_qos_with(
     seed: Option<u64>,
     threads: usize,
 ) -> Vec<(SweepOutcome, QosReport)> {
+    run_scenario_qos_mode_with(registry, scenario, seed, threads, QosMode::PostHoc)
+}
+
+/// [`run_scenario_qos`] with the evaluation pipeline selected by `mode`.
+pub fn run_scenario_qos_mode(
+    scenario: &Scenario,
+    seed: Option<u64>,
+    threads: usize,
+    mode: QosMode,
+) -> Vec<(SweepOutcome, QosReport)> {
+    run_scenario_qos_mode_with(&PolicyRegistry::standard(), scenario, seed, threads, mode)
+}
+
+/// Like [`run_scenario_qos_mode`], with policy names resolved in a
+/// custom registry.
+pub fn run_scenario_qos_mode_with(
+    registry: &PolicyRegistry,
+    scenario: &Scenario,
+    seed: Option<u64>,
+    threads: usize,
+    mode: QosMode,
+) -> Vec<(SweepOutcome, QosReport)> {
     let seed = seed.unwrap_or(scenario.seed);
     let profile = scenario
         .qos
@@ -66,7 +102,6 @@ pub fn run_scenario_qos_with(
         // to_cluster_spec; syncing here too makes the no-[qos] fallback
         // consistent — the run's first-packet wake model, SLA and wake
         // path always match the replayed client.
-        p.spec.config.track_power_timeline = true;
         p.spec.config.sla = profile.sla;
         p.spec.config.request_peak_rps = profile.peak_rps;
         p.spec.config.request_service =
@@ -74,25 +109,52 @@ pub fn run_scenario_qos_with(
         if let Some(qos) = &scenario.qos {
             p.spec.config.wake_speed = qos.wake;
         }
+        match mode {
+            QosMode::PostHoc => p.spec.config.track_power_timeline = true,
+            QosMode::Streaming => {
+                // Streaming retains nothing whole-run. Serial per-epoch
+                // fan-out: the pool is already parallelizing across the
+                // sweep's policies.
+                p.spec.config.track_power_timeline = false;
+                p.spec.config.qos_stream = Some(QosStreamConfig::serial(profile.clone()));
+            }
+        }
     }
     let outcomes = run_sweep_with(registry, &points, threads);
     let Some(first) = points.first() else {
         return Vec::new();
     };
-    let cfg = QosConfig {
-        profile,
-        noise: first.spec.config.im.noise_threshold,
-    };
-    // All points share the spec and seed, so the VM population (traces
-    // included) is generated once and replayed against every policy.
-    let vms = first.spec.vm_specs(seed);
-    outcomes
-        .into_iter()
-        .map(|out| {
-            let report = replay(&vms, &out.outcome.dc, &cfg, seed, threads);
-            (out, report)
-        })
-        .collect()
+    match mode {
+        QosMode::PostHoc => {
+            let cfg = QosConfig {
+                profile,
+                noise: first.spec.config.im.noise_threshold,
+            };
+            // All points share the spec and seed, so the VM population
+            // (traces included) is generated once and replayed against
+            // every policy.
+            let vms = first.spec.vm_specs(seed);
+            outcomes
+                .into_iter()
+                .map(|out| {
+                    let report = replay(&vms, &out.outcome.dc, &cfg, seed, threads);
+                    (out, report)
+                })
+                .collect()
+        }
+        QosMode::Streaming => outcomes
+            .into_iter()
+            .map(|mut out| {
+                let report = out
+                    .outcome
+                    .dc
+                    .qos
+                    .take()
+                    .expect("streaming points carry a QoS report");
+                (out, report)
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +183,67 @@ mod tests {
         );
         assert_eq!(out[1].outcome.suspension(), 0.0);
         assert!(out[0].outcome.energy_kwh() < out[1].outcome.energy_kwh());
+    }
+
+    fn sla_front() -> Scenario {
+        let mut s = crate::catalog::find("sla-web-front").expect("catalog entry");
+        s.days = 2;
+        s
+    }
+
+    #[test]
+    fn streaming_mode_matches_post_hoc_for_open_loop_policies() {
+        let mut s = sla_front();
+        // The closed-loop policy diverges from its recorded twin by
+        // design (the signal changes the run); everything open-loop must
+        // agree to the bit.
+        s.policies.retain(|p| p.as_str() != "sla-aware");
+        let posthoc = run_scenario_qos_mode(&s, None, 0, QosMode::PostHoc);
+        let streaming = run_scenario_qos_mode(&s, None, 0, QosMode::Streaming);
+        assert_eq!(posthoc.len(), streaming.len());
+        for ((a, ra), (b, rb)) in posthoc.iter().zip(&streaming) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(ra, rb, "{} report", a.policy);
+            assert_eq!(
+                a.outcome.energy_kwh().to_bits(),
+                b.outcome.energy_kwh().to_bits(),
+                "{} physics",
+                a.policy
+            );
+            assert!(ra.total > 0);
+        }
+    }
+
+    #[test]
+    fn sla_aware_trades_energy_for_fewer_wake_violations() {
+        let s = sla_front();
+        let rows = run_scenario_qos_mode(&s, None, 0, QosMode::Streaming);
+        let find = |name: &str| {
+            rows.iter()
+                .find(|(o, _)| o.policy == name)
+                .expect("policy row")
+        };
+        let (drowsy, drowsy_qos) = find("drowsy-dc");
+        let (sla, sla_qos) = find("sla-aware");
+        let (neat, _) = find("neat");
+        assert!(
+            sla_qos.wake_violations < drowsy_qos.wake_violations,
+            "the veto absorbs repeat wakes: {} vs {}",
+            sla_qos.wake_violations,
+            drowsy_qos.wake_violations
+        );
+        assert!(
+            sla.outcome.energy_kwh() > drowsy.outcome.energy_kwh(),
+            "held-awake hours cost energy: {} vs {}",
+            sla.outcome.energy_kwh(),
+            drowsy.outcome.energy_kwh()
+        );
+        assert!(
+            sla.outcome.energy_kwh() < neat.outcome.energy_kwh(),
+            "still far below always-on: {} vs {}",
+            sla.outcome.energy_kwh(),
+            neat.outcome.energy_kwh()
+        );
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   results, so every parallel hot loop (fleet shards, sweeps, QoS
 //!   replays) dispatches work without per-call thread spawns.
 //! * [`ids`] — typed identifiers for simulation entities (VMs, hosts, …).
+//! * [`qos`] — mergeable request-level QoS accumulators ([`qos::QosReport`],
+//!   [`qos::QosWindow`]): exact-integer state shared by the post-hoc replay
+//!   and the streaming per-epoch pipeline.
 //! * [`rng`] — seedable, stream-split random number helpers so that every
 //!   experiment is reproducible from a single `u64` seed.
 //! * [`stats`] — online statistics, percentile summaries and text/CSV table
@@ -34,6 +37,7 @@ pub mod engine;
 pub mod events;
 pub mod ids;
 pub mod pool;
+pub mod qos;
 pub mod rng;
 pub mod stats;
 pub mod time;

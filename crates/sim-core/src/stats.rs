@@ -283,6 +283,26 @@ impl LatencyHistogram {
         self.max = self.max.max(ms);
     }
 
+    /// Records `n` identical latency samples in one O(1) bump — the
+    /// fleet's streaming QoS charges a whole epoch of steady requests
+    /// (all at the mean service time) without touching each one.
+    /// Equivalent to calling [`LatencyHistogram::record`] `n` times.
+    pub fn record_n(&mut self, ms: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = hist_bucket(ms);
+        debug_assert!(b < HIST_BUCKETS);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += n;
+        self.total += n;
+        self.sum += ms * n;
+        self.min = self.min.min(ms);
+        self.max = self.max.max(ms);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
@@ -495,6 +515,25 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_record_n_equals_n_records() {
+        let mut bulk = LatencyHistogram::new();
+        bulk.record_n(60, 1000);
+        bulk.record_n(900, 3);
+        bulk.record_n(12, 0); // no-op
+        let mut seq = LatencyHistogram::new();
+        for _ in 0..1000 {
+            seq.record(60);
+        }
+        for _ in 0..3 {
+            seq.record(900);
+        }
+        assert_eq!(bulk, seq);
+        assert_eq!(bulk.count(), 1003);
+        assert_eq!(bulk.min(), Some(60));
+        assert_eq!(bulk.max(), Some(900));
     }
 
     #[test]

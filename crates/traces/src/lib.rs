@@ -65,6 +65,6 @@ pub use arrivals::{poisson_arrivals, slmu_burst_trace, ArrivalEvent};
 pub use classify::{classify, llmi_fraction, periodicity, VmClass};
 pub use nutanix::nutanix_trace;
 pub use patterns::TracePattern;
-pub use requests::{RequestGenerator, RequestProfile};
+pub use requests::{RequestGenerator, RequestProfile, RequestStream};
 pub use trace::VmTrace;
 pub use workload::VmWorkload;
