@@ -6,6 +6,8 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod tournament;
+
 /// Common command-line options for experiment binaries.
 #[derive(Debug, Clone)]
 pub struct ExpOptions {

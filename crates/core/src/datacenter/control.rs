@@ -243,6 +243,14 @@ impl Datacenter {
     /// its packing pass), and applies each round's orders in plan order:
     /// migrations, swaps, unparks, parks.
     fn consolidate(&mut self, levels: &[f64], scores: &[f64], now: SimTime) {
+        // Per-VM behaviour classes for class-aware policies (the
+        // adaptive meta-policy); indexed by VmId, stable across rounds
+        // (models only learn between control periods).
+        let classes: Vec<dds_idleness::ImClass> = if self.policy.uses_trace_classes() {
+            self.vms.iter().map(|v| v.im.classify()).collect()
+        } else {
+            Vec::new()
+        };
         for round in 0..self.policy.plan_rounds() {
             let state = self.cluster_state(levels, scores);
             // Hand every round a free-capacity index over the snapshot:
@@ -256,6 +264,7 @@ impl Datacenter {
                     state: &state,
                     vm_hist: &self.vm_hist,
                     host_hist: &self.host_hist,
+                    classes: &classes,
                 },
                 &index,
                 &mut self.rng,

@@ -55,7 +55,7 @@ pub use fleet::{
     run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetQosConfig, FleetSim, PlacementMode,
     SteppingMode,
 };
-pub use registry::{PolicyEntry, PolicyRegistry};
+pub use registry::{PolicyEntry, PolicyRegistry, RegistryError};
 pub use spec::{HostSpec, VmMemberSpec, VmSpec, WorkloadKind};
-pub use sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};
+pub use sweep::{llmi_grid, run_sweep, run_sweep_with, seed_replicates, SweepOutcome, SweepPoint};
 pub use testbed::{run_testbed, TestbedOutcome, TestbedSpec};

@@ -14,11 +14,13 @@
 //! | `oasis`     | Oasis      | hybrid consolidation via parking |
 //! | `sleepscale`| SleepScale | joint speed scaling + sleep states |
 //! | `sla-aware` | SLA-aware  | Drowsy-DC + QoS-driven suspend veto (needs [`DcConfig::qos_stream`]) |
+//! | `tournament-adaptive` | Tournament-adaptive | per-host delegate picked from the trace class ([`dds_placement::adaptive`]) |
 
 use crate::datacenter::DcConfig;
 use dds_placement::policy::ControlPolicy;
 use dds_placement::{
-    DrowsyPolicy, NeatPolicy, OasisConfig, OasisPolicy, SlaAwarePolicy, SleepScalePolicy,
+    AdaptiveConfig, AdaptivePolicy, DrowsyPolicy, NeatPolicy, OasisConfig, OasisPolicy,
+    SlaAwarePolicy, SleepScalePolicy,
 };
 use dds_sim_core::HostId;
 
@@ -135,6 +137,17 @@ impl PolicyRegistry {
                     needs_consolidation_host: false,
                     build: |cfg, _| Box::new(SlaAwarePolicy::new(cfg.drowsy.clone())),
                 },
+                PolicyEntry {
+                    name: "tournament-adaptive",
+                    label: "Tournament-adaptive",
+                    needs_consolidation_host: false,
+                    build: |cfg, _| {
+                        Box::new(AdaptivePolicy::new(AdaptiveConfig {
+                            drowsy: cfg.drowsy.clone(),
+                            ..AdaptiveConfig::paper_default()
+                        }))
+                    },
+                },
             ],
         }
     }
@@ -164,6 +177,34 @@ impl PolicyRegistry {
         self.entries.push(entry);
     }
 
+    /// Registers a custom entry, erroring instead of silently shadowing
+    /// when the name is taken. Experiment harnesses that compose
+    /// registries from several sources use this to surface collisions.
+    pub fn try_register(&mut self, entry: PolicyEntry) -> Result<(), RegistryError> {
+        if self.get(entry.name).is_some() {
+            return Err(RegistryError::DuplicateName(entry.name));
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Resolves a list of names to entries, erroring on the first
+    /// unknown one (with the registered names in the message, as the
+    /// panic path in `run_cluster_policy_with` does).
+    pub fn resolve<'a>(
+        &'a self,
+        names: &[impl AsRef<str>],
+    ) -> Result<Vec<&'a PolicyEntry>, RegistryError> {
+        names
+            .iter()
+            .map(|n| {
+                let n = n.as_ref();
+                self.get(n)
+                    .ok_or_else(|| RegistryError::UnknownName(n.to_string()))
+            })
+            .collect()
+    }
+
     /// Builds a policy by name. `None` for unknown names.
     pub fn build(
         &self,
@@ -181,6 +222,30 @@ impl Default for PolicyRegistry {
     }
 }
 
+/// Errors from the fallible registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// [`PolicyRegistry::try_register`] found the name already taken.
+    DuplicateName(&'static str),
+    /// [`PolicyRegistry::resolve`] met a name with no entry.
+    UnknownName(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateName(name) => {
+                write!(f, "policy {name:?} is already registered")
+            }
+            RegistryError::UnknownName(name) => {
+                write!(f, "unknown policy {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,7 +262,8 @@ mod tests {
                 "neat",
                 "oasis",
                 "sleepscale",
-                "sla-aware"
+                "sla-aware",
+                "tournament-adaptive"
             ]
         );
         let cfg = DcConfig::paper_default();
@@ -247,7 +313,59 @@ mod tests {
             reg.get("neat").expect("still present").label,
             "Neat (custom)"
         );
-        assert_eq!(reg.entries().len(), 6, "replaced, not duplicated");
+        assert_eq!(reg.entries().len(), 7, "replaced, not duplicated");
+    }
+
+    #[test]
+    fn try_register_rejects_duplicates_and_admits_fresh_names() {
+        let mut reg = PolicyRegistry::standard();
+        let n = reg.entries().len();
+        let clash = PolicyEntry::new("drowsy-dc", "Impostor", false, |cfg, _| {
+            Box::new(DrowsyPolicy::new(cfg.drowsy.clone()))
+        });
+        let err = reg.try_register(clash).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateName("drowsy-dc"));
+        assert!(format!("{err}").contains("already registered"));
+        assert_eq!(reg.entries().len(), n, "rejected entry is not added");
+        assert_eq!(
+            reg.get("drowsy-dc").unwrap().label,
+            "Drowsy-DC",
+            "original entry untouched"
+        );
+        let fresh = PolicyEntry::new("drowsy-dc-v2", "Drowsy-DC v2", false, |cfg, _| {
+            Box::new(DrowsyPolicy::new(cfg.drowsy.clone()))
+        });
+        reg.try_register(fresh).expect("fresh name registers");
+        assert_eq!(reg.entries().len(), n + 1);
+        assert!(reg.get("drowsy-dc-v2").is_some());
+    }
+
+    #[test]
+    fn resolve_surfaces_the_first_unknown_name() {
+        let reg = PolicyRegistry::standard();
+        let ok = reg.resolve(&["drowsy-dc", "sla-aware"]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[1].name, "sla-aware");
+        let err = reg
+            .resolve(&["drowsy-dc", "drowsy-dcc", "neat"])
+            .unwrap_err();
+        assert_eq!(err, RegistryError::UnknownName("drowsy-dcc".to_string()));
+        assert!(format!("{err}").contains("unknown policy"));
+        let empty: [&str; 0] = [];
+        assert!(reg.resolve(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tournament_adaptive_builds_with_the_run_drowsy_config() {
+        let reg = PolicyRegistry::standard();
+        let cfg = DcConfig::paper_default();
+        let policy = reg.build("tournament-adaptive", &cfg, None).unwrap();
+        assert_eq!(policy.label(), "Tournament-adaptive");
+        assert!(policy.uses_idleness_scores());
+        assert!(
+            policy.uses_trace_classes(),
+            "the meta-policy asks the controller for per-VM classes"
+        );
     }
 
     #[test]

@@ -153,6 +153,24 @@ pub fn llmi_grid(
     points
 }
 
+/// Expands a point list into seed replicates: each input point is
+/// repeated once per seed, point-major (all seeds of point 0 first), so
+/// `out[i * seeds.len() + j]` is point `i` under `seeds[j]`. The points'
+/// own seeds are overridden. Replicate grids feed confidence intervals
+/// (the tournament's per-family leaderboard); point-major order keeps a
+/// point's replicates adjacent for chunked reduction.
+pub fn seed_replicates(points: &[SweepPoint], seeds: &[u64]) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(points.len() * seeds.len());
+    for point in points {
+        for &seed in seeds {
+            let mut p = point.clone();
+            p.seed = seed;
+            out.push(p);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +216,32 @@ mod tests {
         assert_eq!(points[1].policy, "oasis");
         assert!((points[0].spec.llmi_fraction - 0.25).abs() < 1e-12);
         assert!((points[3].spec.llmi_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seed_replicates_expand_point_major() {
+        let policies: Vec<String> = vec!["neat".into(), "drowsy-dc".into()];
+        let base = llmi_grid(&policies, &[0.5], small_spec, 999);
+        let expanded = seed_replicates(&base, &[1, 2, 3]);
+        assert_eq!(expanded.len(), 6);
+        // Point-major: neat × {1,2,3}, then drowsy-dc × {1,2,3}.
+        let got: Vec<(&str, u64)> = expanded
+            .iter()
+            .map(|p| (p.policy.as_str(), p.seed))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("neat", 1),
+                ("neat", 2),
+                ("neat", 3),
+                ("drowsy-dc", 1),
+                ("drowsy-dc", 2),
+                ("drowsy-dc", 3),
+            ]
+        );
+        assert!(seed_replicates(&base, &[]).is_empty());
+        assert!(seed_replicates(&[], &[1, 2]).is_empty());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`eval`] — the predict-then-observe evaluation loop over a trace.
 //! * [`persist`] — model checkpointing (models survive host reboots and
 //!   follow VMs across migrations).
+//! * [`classify`] — behaviour classification ([`ImClass`]) from a model's
+//!   learned state, consumed by the tournament's adaptive meta-policy.
 //!
 //! ## Interpretation notes (also in DESIGN.md)
 //!
@@ -31,12 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod classify;
 pub mod eval;
 pub mod metrics;
 pub mod model;
 pub mod persist;
 
 pub use activity::ActivityMeter;
+pub use classify::{classify_checkpoint, ImClass};
 pub use eval::{evaluate_model_on_trace, EvalPoint};
 pub use metrics::{ConfusionMatrix, WindowedEvaluation};
 pub use model::{IdlenessModel, ImConfig, SiVector, SIGMA};

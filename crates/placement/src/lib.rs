@@ -36,11 +36,16 @@
 //! * [`sla_aware`] — Drowsy-DC planning plus a QoS-driven suspend veto:
 //!   the first consumer of the streaming [`QosWindow`] feedback seam
 //!   ([`ControlPolicy::observe_qos`] / [`ControlPolicy::allow_suspend`]).
+//! * [`adaptive`] — the tournament's meta-policy: classifies each host
+//!   from its residents' learned idleness models and delegates sleep
+//!   depth / suspend veto to the per-class winner from a baked-in
+//!   leaderboard table.
 //!
 //! [`QosWindow`]: dds_sim_core::qos::QosWindow
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod capacity;
 pub mod drowsy;
 pub mod filters;
@@ -53,6 +58,7 @@ pub mod sla_aware;
 pub mod sleepscale;
 pub mod types;
 
+pub use adaptive::{class_winner, AdaptiveConfig, AdaptivePolicy, CLASS_WINNERS};
 pub use capacity::{CapacityIndex, ScanIndex};
 pub use drowsy::{DrowsyConfig, DrowsyPlanner};
 pub use filters::{FilterScheduler, HostFilter, HostWeigher};

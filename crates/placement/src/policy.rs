@@ -41,8 +41,9 @@ use crate::oasis::{OasisConfig, OasisPlanner};
 use crate::types::{ClusterState, ConsolidationPlan, Migration};
 use crate::{DrowsyConfig, DrowsyPlanner};
 use dds_hostos::SuspendConfig;
+use dds_idleness::ImClass;
 use dds_sim_core::qos::QosWindow;
-use dds_sim_core::{HostId, SimRng, SimTime};
+use dds_sim_core::{HostId, SimRng, SimTime, VmId};
 
 /// How deep a fully idle host is allowed to sleep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,22 @@ pub struct PlanningView<'a> {
     pub vm_hist: &'a HistoryBook,
     /// Per-host normalized-utilization histories.
     pub host_hist: &'a HostHistories,
+    /// Behaviour classes from each VM's idleness model, indexed by
+    /// [`VmId::index`]. Empty when the controller computed none (the
+    /// policy doesn't ask, or the engine doesn't carry models) — use
+    /// [`class_of`](Self::class_of), which treats missing entries as
+    /// [`ImClass::Undetermined`].
+    pub classes: &'a [ImClass],
+}
+
+impl PlanningView<'_> {
+    /// The behaviour class of `vm`, `Undetermined` when unknown.
+    pub fn class_of(&self, vm: VmId) -> ImClass {
+        self.classes
+            .get(vm.index())
+            .copied()
+            .unwrap_or(ImClass::Undetermined)
+    }
 }
 
 /// One planning round's orders, applied by the controller in field order:
@@ -117,6 +134,14 @@ pub trait ControlPolicy: Send {
     /// module's adaptive grace time) from the models instead of the
     /// neutral 0.5.
     fn uses_idleness_scores(&self) -> bool {
+        false
+    }
+
+    /// True when the policy consumes per-VM behaviour classes
+    /// ([`ImClass`]): the controller then classifies each VM's idleness
+    /// model into [`PlanningView::classes`] before planning. Off by
+    /// default so legacy policies pay nothing.
+    fn uses_trace_classes(&self) -> bool {
         false
     }
 
@@ -411,6 +436,7 @@ mod tests {
                 state: &state,
                 vm_hist: &vm_hist,
                 host_hist: &host_hist,
+                classes: &[],
             },
             &mut SimRng::new(1),
         );
@@ -434,6 +460,7 @@ mod tests {
             state: &state,
             vm_hist: &vm_hist,
             host_hist: &host_hist,
+            classes: &[],
         };
         let index = crate::capacity::CapacityIndex::from_cluster(&state);
         let mut a = NeatPolicy::suspending(NeatConfig::paper_default());
@@ -497,6 +524,7 @@ mod tests {
             state: &state,
             vm_hist: &vm_hist,
             host_hist: &host_hist,
+            classes: &[],
         };
         let plan = p.plan(0, &view, &mut SimRng::new(3));
         for m in &plan.consolidation.migrations {

@@ -160,6 +160,43 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_hold_window_never_vetoes() {
+        // hold = 0: the hold covers epochs e+1 ..= e+0 — an empty
+        // range — so even a violating host parks at the very next
+        // opportunity. The degenerate configuration must not wedge the
+        // host powered or underflow the window arithmetic.
+        let mut p = SlaAwarePolicy::with_hold(DrowsyConfig::paper_default(), 0);
+        p.observe_qos(&window(10, &[(4, 3)]));
+        assert!(
+            p.allow_suspend(HostId(4)),
+            "zero-length window: violation expires immediately"
+        );
+        assert_eq!(p.deferred_hosts().count(), 0, "nothing stays deferred");
+        // And repeated offences still never accumulate a hold.
+        p.observe_qos(&window(11, &[(4, 1)]));
+        p.observe_qos(&window(12, &[(4, 1)]));
+        assert!(p.allow_suspend(HostId(4)));
+    }
+
+    #[test]
+    fn veto_flips_exactly_at_the_epoch_boundary() {
+        // A violation in epoch e holds epochs e+1 ..= e+hold, inclusive
+        // on both ends: held through the window's last epoch, parkable
+        // from the first epoch after it — no off-by-one either way.
+        let hold = 2;
+        let mut p = SlaAwarePolicy::with_hold(DrowsyConfig::paper_default(), hold);
+        p.observe_qos(&window(10, &[(7, 1)]));
+        // next_epoch = 11 (epoch e+1): first epoch of the hold window.
+        assert!(!p.allow_suspend(HostId(7)), "held at the boundary e+1");
+        p.observe_qos(&QosWindow::new(11, 200));
+        // next_epoch = 12 (epoch e+hold): last epoch of the window.
+        assert!(!p.allow_suspend(HostId(7)), "held through e+hold");
+        p.observe_qos(&QosWindow::new(12, 200));
+        // next_epoch = 13 (epoch e+hold+1): the boundary flips.
+        assert!(p.allow_suspend(HostId(7)), "parkable at e+hold+1 exactly");
+    }
+
+    #[test]
     fn repeated_violations_extend_the_hold() {
         let mut p = SlaAwarePolicy::with_hold(DrowsyConfig::paper_default(), 2);
         p.observe_qos(&window(0, &[(1, 1)]));
@@ -187,6 +224,7 @@ mod tests {
             state: &state,
             vm_hist: &vm_hist,
             host_hist: &host_hist,
+            classes: &[],
         };
         let mut sla = SlaAwarePolicy::new(DrowsyConfig::paper_default());
         let mut drowsy = DrowsyPolicy::new(DrowsyConfig::paper_default());

@@ -1,0 +1,177 @@
+//! Scenario families: the aggregation level the tournament ranks at.
+//!
+//! Eleven catalog scenarios × policies × wake speeds × seeds is too
+//! fine-grained a grid to read a leaderboard off — and the interesting
+//! question is not "who wins office-park" but "who wins *diurnal*
+//! fleets". Each scenario derives a [`ScenarioFamily`] from its workload
+//! mix (majority VM count over the per-pattern families below), with no
+//! change to the scenario text format: families are derived, never
+//! declared, so the parse/render round-trip stays byte-stable.
+//!
+//! | pattern | family |
+//! |---------|--------|
+//! | diurnal-office, business-hours, weekend-heavy, comic-strips | `Diurnal` |
+//! | flash-crowd, random-bursts | `Bursty` |
+//! | batch-queue, daily-backup, slmu, seasonal-results | `Batch` |
+//! | llmu | `Steady` |
+//! | always-idle | `Idle` |
+//! | nutanix | `Production` |
+
+use crate::scenario::Scenario;
+use dds_traces::{TracePattern, VmWorkload};
+
+/// A scenario's dominant workload character. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScenarioFamily {
+    /// Office-style daily rhythms (diurnal-office, business-hours,
+    /// weekend-heavy, comic-strips).
+    Diurnal,
+    /// Request bursts with no daily anchor (flash-crowd, random-bursts).
+    Bursty,
+    /// Scheduled or queued batch work (batch-queue, daily-backup, slmu,
+    /// seasonal-results).
+    Batch,
+    /// Always-on steady load (llmu).
+    Steady,
+    /// Essentially inactive fleets (always-idle).
+    Idle,
+    /// Mixed real-world personalities (nutanix).
+    Production,
+}
+
+impl ScenarioFamily {
+    /// Stable kebab-case key (leaderboard rows, CSV columns).
+    pub fn key(self) -> &'static str {
+        match self {
+            ScenarioFamily::Diurnal => "diurnal",
+            ScenarioFamily::Bursty => "bursty",
+            ScenarioFamily::Batch => "batch",
+            ScenarioFamily::Steady => "steady",
+            ScenarioFamily::Idle => "idle",
+            ScenarioFamily::Production => "production",
+        }
+    }
+
+    /// All families, in discriminant order (the tie-break priority of
+    /// [`Scenario::family`] and the row order of family tables).
+    pub const ALL: [ScenarioFamily; 6] = [
+        ScenarioFamily::Diurnal,
+        ScenarioFamily::Bursty,
+        ScenarioFamily::Batch,
+        ScenarioFamily::Steady,
+        ScenarioFamily::Idle,
+        ScenarioFamily::Production,
+    ];
+}
+
+impl std::fmt::Display for ScenarioFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The family of a single workload source.
+pub fn workload_family(w: &VmWorkload) -> ScenarioFamily {
+    match w {
+        VmWorkload::Nutanix { .. } => ScenarioFamily::Production,
+        VmWorkload::Pattern(p) => match p {
+            TracePattern::DiurnalOffice { .. }
+            | TracePattern::BusinessHours { .. }
+            | TracePattern::WeekendHeavy { .. }
+            | TracePattern::ComicStrips { .. } => ScenarioFamily::Diurnal,
+            TracePattern::FlashCrowd { .. } | TracePattern::RandomBursts { .. } => {
+                ScenarioFamily::Bursty
+            }
+            TracePattern::BatchQueue { .. }
+            | TracePattern::DailyBackup { .. }
+            | TracePattern::Slmu { .. }
+            | TracePattern::SeasonalResults { .. } => ScenarioFamily::Batch,
+            TracePattern::Llmu { .. } => ScenarioFamily::Steady,
+            TracePattern::AlwaysIdle => ScenarioFamily::Idle,
+        },
+    }
+}
+
+impl Scenario {
+    /// The scenario's family: the family holding the most VMs across
+    /// its workload groups, ties to the earlier entry of
+    /// [`ScenarioFamily::ALL`]. A scenario with no workloads is
+    /// `Steady` ballast-free — classified `Idle`.
+    pub fn family(&self) -> ScenarioFamily {
+        let mut counts = [0usize; ScenarioFamily::ALL.len()];
+        for g in &self.workloads {
+            let fam = workload_family(&g.workload);
+            let slot = ScenarioFamily::ALL
+                .iter()
+                .position(|&f| f == fam)
+                .expect("every family is in ALL");
+            counts[slot] += g.count;
+        }
+        if counts.iter().all(|&n| n == 0) {
+            return ScenarioFamily::Idle;
+        }
+        let mut best = 0;
+        for (i, &n) in counts.iter().enumerate() {
+            if n > counts[best] {
+                best = i;
+            }
+        }
+        ScenarioFamily::ALL[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CATALOG;
+
+    #[test]
+    fn catalog_families_are_pinned() {
+        // The derived family of every shipped scenario — the tournament
+        // leaderboard's row space. Changing a scenario's workload mix
+        // (or the pattern→family map) that re-families a scenario must
+        // show up here.
+        let expect = [
+            ("office-park", ScenarioFamily::Diurnal),
+            ("flash-crowd-front", ScenarioFamily::Bursty),
+            ("batch-farm", ScenarioFamily::Batch),
+            ("weekend-surge", ScenarioFamily::Diurnal),
+            ("mixed-production", ScenarioFamily::Production),
+            ("green-hetero", ScenarioFamily::Diurnal),
+            ("slow-wake-fleet", ScenarioFamily::Diurnal),
+            ("nightly-window", ScenarioFamily::Diurnal),
+            ("sla-web-front", ScenarioFamily::Bursty),
+            ("idle-fleet", ScenarioFamily::Idle),
+            ("hifi-flash", ScenarioFamily::Bursty),
+        ];
+        assert_eq!(expect.len(), CATALOG.len(), "pin covers the catalog");
+        for (name, family) in expect {
+            let s = crate::catalog::find(name).expect(name);
+            assert_eq!(s.family(), family, "{name}");
+        }
+    }
+
+    #[test]
+    fn majority_is_by_vm_count_not_group_count() {
+        // Two small bursty groups vs one large diurnal group: VM count
+        // decides, not how many [workload.*] sections mention a family.
+        let s = Scenario::parse(
+            "[scenario]\nname = t\nsummary = s\ndays = 1\npolicies = drowsy-dc\n\
+             [fleet.std]\ncount = 4\ncores = 8\nram-mb = 16384\n\
+             [workload.a]\npattern = flash-crowd\ncount = 3\nvcpus = 2\nram-mb = 2048\nkind = interactive\n\
+             [workload.b]\npattern = random-bursts\ncount = 3\nvcpus = 2\nram-mb = 2048\nkind = interactive\n\
+             [workload.c]\npattern = diurnal-office\ncount = 7\nvcpus = 2\nram-mb = 2048\nkind = interactive\n",
+        )
+        .expect("parses");
+        assert_eq!(s.family(), ScenarioFamily::Diurnal);
+    }
+
+    #[test]
+    fn keys_are_stable_and_unique() {
+        let mut keys: Vec<&str> = ScenarioFamily::ALL.iter().map(|f| f.key()).collect();
+        assert_eq!(format!("{}", ScenarioFamily::Bursty), "bursty");
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), ScenarioFamily::ALL.len());
+    }
+}

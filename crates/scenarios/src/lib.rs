@@ -68,11 +68,13 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod family;
 pub mod format;
 pub mod run;
 pub mod scenario;
 
 pub use catalog::{catalog, find, CatalogEntry, CATALOG};
+pub use family::{workload_family, ScenarioFamily};
 pub use format::{RawDoc, RawEntry, RawSection, ScenarioError};
 pub use run::{
     run_scenario, run_scenario_qos, run_scenario_qos_mode, run_scenario_qos_mode_with,
