@@ -28,7 +28,7 @@
 //! Shared flags: `--seed N`, `--threads N` (0 = auto; reports are
 //! bit-identical for any value — the `qos-smoke` CI job diffs serial vs
 //! parallel runs), `--hosts N` (rescale the scenario fleet),
-//! `--policies a,b,c`, `--out DIR`, `--json`.
+//! `--policies a,b,c`, `--out DIR`, `--json`, `--telemetry[=DIR]`.
 
 use dds_bench::{pct1, ExpOptions, JsonObject};
 use dds_power::WakeSpeed;
@@ -280,6 +280,7 @@ fn main() -> ExitCode {
     }
     opts.write_csv("qos.csv", &csv);
     opts.write_bench_json("qos", &artifact);
+    opts.write_telemetry("qos", None, None);
     ExitCode::SUCCESS
 }
 

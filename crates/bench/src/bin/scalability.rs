@@ -29,14 +29,18 @@
 //! N`, pooled vs scoped, and macro vs hourly runs. Shared flags:
 //! `--quick`, `--seed N`, `--threads N` (shard counts to sweep; 0 =
 //! auto), `--hosts N` (single fleet size instead of the sweep),
-//! `--out DIR`, `--json`. Binary flags: `--pool` (dispatch the fleet
-//! sweep over the persistent worker pool instead of scoped threads),
-//! `--no-macro` (force the reference hourly walk).
+//! `--out DIR`, `--json`, `--telemetry[=DIR]` (logical/timing telemetry
+//! artifacts plus a flight-recorder dump), `--trace-epochs N`
+//! (flight-recorder depth; on a shard-digest divergence the bin names
+//! the first divergent epoch and dumps both rings). Binary flags:
+//! `--pool` (dispatch the fleet sweep over the persistent worker pool
+//! instead of scoped threads), `--no-macro` (force the reference
+//! hourly walk).
 
 use dds_bench::{ExpOptions, JsonObject};
 use dds_core::cluster::ClusterSpec;
 use dds_core::fleet::{
-    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, PlacementMode, SteppingMode,
+    run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetSim, PlacementMode, SteppingMode,
 };
 use dds_core::sweep::{auto_threads, llmi_grid, run_sweep};
 use dds_placement::{
@@ -44,6 +48,7 @@ use dds_placement::{
 };
 use dds_sim_core::stats::TextTable;
 use dds_sim_core::{HostId, SimRng, VmId};
+use dds_telemetry::FlightRecorder;
 use std::time::Instant;
 
 fn build_state(n_vms: usize, rng: &mut SimRng) -> (ClusterState, HistoryBook) {
@@ -227,6 +232,15 @@ fn main() {
         "\nhyperscale fleet engine ({horizon} h horizon, shard counts {shard_counts:?}, \
          {executor:?} executor, {stepping:?} stepping)\n"
     );
+    // Flight-recorder depth: explicit `--trace-epochs`, or a default
+    // window when `--telemetry` asks for the artifacts.
+    let trace_epochs = if opts.trace_epochs > 0 {
+        opts.trace_epochs
+    } else if opts.telemetry {
+        64
+    } else {
+        0
+    };
     let fleet_cfg = |hosts: usize, shards: usize, placement: PlacementMode| FleetConfig {
         hosts,
         vms: (hosts * 10).min(1_000_000),
@@ -237,6 +251,7 @@ fn main() {
         placement,
         executor,
         stepping,
+        trace_epochs,
         ..FleetConfig::new(hosts, 0, horizon)
     };
     let mut fleet_table = TextTable::new(vec![
@@ -255,10 +270,19 @@ fn main() {
     );
     let mut fleet_points = Vec::new();
     let mut shard_identity = true;
+    // Baseline (1-shard) telemetry: logical snapshots (grid-invariant,
+    // so the artifact byte-diffs across `--threads` values), the last
+    // size's span breakdown, and its flight recorder.
+    let mut fleet_logical: Vec<JsonObject> = Vec::new();
+    let mut fleet_spans: Option<JsonObject> = None;
+    let mut fleet_recorder: Option<FlightRecorder> = None;
     for &hosts in &fleet_sizes {
-        let mut baseline: Option<FleetOutcome> = None;
+        let mut baseline: Option<(FleetOutcome, FlightRecorder)> = None;
         for &shards in &shard_counts {
-            let out = run_fleet(fleet_cfg(hosts, shards, PlacementMode::Indexed));
+            let mut sim = FleetSim::new(fleet_cfg(hosts, shards, PlacementMode::Indexed));
+            sim.run_horizon();
+            let out = sim.outcome();
+            let recorder = sim.recorder().clone();
             let wall_s = out.epoch_ms() / 1e3;
             fleet_table.row(vec![
                 hosts.to_string(),
@@ -302,9 +326,18 @@ fn main() {
                         out.energy_kwh,
                         out.digest,
                     ));
-                    baseline = Some(out);
+                    // Baseline telemetry: counters are grid-invariant
+                    // sums, so these snapshots byte-diff across runs.
+                    fleet_logical.push(
+                        JsonObject::new()
+                            .int("hosts", hosts as u64)
+                            .object("metrics", &sim.logical_telemetry()),
+                    );
+                    fleet_spans = Some(sim.spans().to_json());
+                    fleet_recorder = Some(recorder.clone());
+                    baseline = Some((out, recorder));
                 }
-                Some(one) => {
+                Some((one, base_rec)) => {
                     let same = one.digest == out.digest
                         && one.energy_kwh.to_bits() == out.energy_kwh.to_bits();
                     shard_identity &= same;
@@ -314,6 +347,41 @@ fn main() {
                              ({:016x} vs {:016x})",
                             out.shards, one.digest, out.digest
                         );
+                        // Localize: the flight recorders name the first
+                        // epoch whose merged transition digest differs,
+                        // and both rings are dumped for inspection.
+                        if base_rec.enabled() {
+                            match base_rec.first_divergence(&recorder) {
+                                Some(epoch) => {
+                                    eprintln!("flight recorder: first divergent epoch {epoch}")
+                                }
+                                None => eprintln!(
+                                    "flight recorder: no divergence in the recorded \
+                                     window (deepen --trace-epochs)"
+                                ),
+                            }
+                            let dir = opts.telemetry_dir();
+                            for (rec, name) in [
+                                (base_rec, format!("flight_recorder_{hosts}h_1s.jsonl")),
+                                (
+                                    &recorder,
+                                    format!("flight_recorder_{hosts}h_{shards}s.jsonl"),
+                                ),
+                            ] {
+                                let path = dir.join(name);
+                                match rec.dump(&path) {
+                                    Ok(()) => eprintln!("[dumped {}]", path.display()),
+                                    Err(e) => {
+                                        eprintln!("cannot dump {}: {e}", path.display())
+                                    }
+                                }
+                            }
+                        } else {
+                            eprintln!(
+                                "flight recorder disabled — rerun with --trace-epochs N \
+                                 to localize the divergent epoch"
+                            );
+                        }
                     }
                 }
             }
@@ -459,10 +527,14 @@ fn main() {
          combined: {combined_speedup:.2}x, bit-identical: {grid_identity}"
     );
 
+    // Per-phase time breakdown of the last baseline fleet run: wall-clock
+    // and share of churn / placement / advance / merge / QoS fold.
+    let phase_breakdown = fleet_spans.clone().unwrap_or_default();
     opts.write_bench_json(
         "scalability",
         &opts
             .bench_json("scalability")
+            .object("phase_breakdown", &phase_breakdown)
             .array("planner_points", &json_points)
             .num("drowsy_exponent", drowsy_exp)
             .num("multiplex_exponent", mult_exp)
@@ -486,6 +558,20 @@ fn main() {
             .num("macro_speedup", macro_speedup)
             .num("combined_speedup", combined_speedup),
     );
+    if opts.telemetry {
+        let extra_logical = JsonObject::new().array("fleet", &fleet_logical);
+        let extra_timing = JsonObject::new().object("fleet_spans", &phase_breakdown);
+        opts.write_telemetry("scalability", Some(&extra_logical), Some(&extra_timing));
+        if let Some(rec) = &fleet_recorder {
+            if rec.enabled() {
+                let path = opts.flight_recorder_path();
+                match rec.dump(&path) {
+                    Ok(()) => println!("[wrote {}]", path.display()),
+                    Err(e) => eprintln!("cannot dump {}: {e}", path.display()),
+                }
+            }
+        }
+    }
     if !shard_identity {
         std::process::exit(1);
     }

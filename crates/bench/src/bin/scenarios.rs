@@ -15,6 +15,7 @@
 //! Shared flags: `--seed N` (override the scenario's seed), `--threads N`
 //! (0 = auto), `--hosts N` (rescale the fleet and workload mix to N
 //! machines), `--out DIR`, `--json` (emit `BENCH_scenarios.json`),
+//! `--telemetry[=DIR]` (emit the logical/timing telemetry artifacts),
 //! `--quick` (cap simulated days at 2 for smoke runs). A malformed
 //! scenario file fails with a line-numbered error and a non-zero exit.
 
@@ -219,5 +220,6 @@ fn main() -> ExitCode {
             .int("scenario_count", scenario_objects.len() as u64)
             .array("scenarios", &scenario_objects),
     );
+    opts.write_telemetry("scenarios", None, None);
     ExitCode::SUCCESS
 }

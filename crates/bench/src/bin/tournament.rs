@@ -17,7 +17,8 @@
 //!
 //! Shared flags: `--seed N` (base seed; replicates use N, N+1, …),
 //! `--policies a,b,c` (default: the whole registry, including the
-//! `tournament-adaptive` meta-policy), `--out DIR`, `--threads N`.
+//! `tournament-adaptive` meta-policy), `--out DIR`, `--threads N`,
+//! `--telemetry[=DIR]` (logical/timing telemetry artifacts).
 
 use dds_bench::tournament::{
     build_grid, leaderboard, render_csv, run_grid, LeaderboardRow, WAKE_VARIANTS,
@@ -163,5 +164,6 @@ fn main() -> ExitCode {
         )
         .array("leaderboard", &dds_bench::tournament::json_rows(&rows));
     opts.write_bench_json("tournament", &artifact);
+    opts.write_telemetry("tournament", None, None);
     ExitCode::SUCCESS
 }

@@ -6,6 +6,10 @@
 
 use std::path::{Path, PathBuf};
 
+use dds_core::datacenter::dc_spans;
+use dds_sim_core::WorkerPool;
+use dds_telemetry::{MetricKind, MetricsRegistry};
+
 pub mod tournament;
 
 /// Common command-line options for experiment binaries.
@@ -29,6 +33,16 @@ pub struct ExpOptions {
     /// Also emit machine-readable `BENCH_*.json` artifacts (`--json`),
     /// for CI trend tracking.
     pub json: bool,
+    /// Emit the telemetry artifacts (`--telemetry[=DIR]`): the logical
+    /// metrics snapshot (byte-identical across thread/shard/executor
+    /// counts) and the timing snapshot (spans, pool busy time — never
+    /// byte-diffed), as two separate files.
+    pub telemetry: bool,
+    /// Where the telemetry artifacts go; `None` = `out_dir`.
+    pub telemetry_dir: Option<PathBuf>,
+    /// Flight-recorder depth (`--trace-epochs N`): retain the last `N`
+    /// epochs as structured records in fleet runs. `0` = disabled.
+    pub trace_epochs: usize,
 }
 
 impl Default for ExpOptions {
@@ -41,6 +55,9 @@ impl Default for ExpOptions {
             threads: 0,
             hosts: None,
             json: false,
+            telemetry: false,
+            telemetry_dir: None,
+            trace_epochs: 0,
         }
     }
 }
@@ -51,7 +68,9 @@ impl ExpOptions {
     /// Recognized flags: `--quick`, `--seed <u64>`, `--out <dir>`,
     /// `--policies <name,name,…>` (policy-registry names),
     /// `--threads <n>` (0 = auto), `--hosts <n>` (fleet-size override),
-    /// `--json` (machine-readable artifacts).
+    /// `--json` (machine-readable artifacts), `--telemetry[=DIR]`
+    /// (logical + timing telemetry artifacts) and `--trace-epochs <n>`
+    /// (flight-recorder depth for fleet runs).
     /// Unrecognized arguments are warned about and dropped; binaries with
     /// extra flags use [`ExpOptions::parse`] instead.
     pub fn from_args() -> Self {
@@ -115,6 +134,20 @@ impl ExpOptions {
                     assert!(n > 0, "--hosts needs a positive usize");
                     opts.hosts = Some(n);
                 }
+                "--telemetry" => opts.telemetry = true,
+                "--trace-epochs" => {
+                    i += 1;
+                    opts.trace_epochs = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--trace-epochs needs a usize"));
+                }
+                other if other.starts_with("--telemetry=") => {
+                    opts.telemetry = true;
+                    let dir = &other["--telemetry=".len()..];
+                    assert!(!dir.is_empty(), "--telemetry= needs a directory");
+                    opts.telemetry_dir = Some(PathBuf::from(dir));
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -169,99 +202,93 @@ impl ExpOptions {
         }
         self.write_csv(&format!("BENCH_{name}.json"), &json.render());
     }
-}
 
-/// A minimal JSON-object builder for `BENCH_*.json` artifacts — numbers,
-/// strings, bools and flat arrays of objects, built by hand so the
-/// offline workspace needs no serde.
-#[derive(Debug, Clone, Default)]
-pub struct JsonObject {
-    fields: Vec<(String, String)>,
-}
+    /// Where the telemetry artifacts land: the `--telemetry=DIR`
+    /// override, or the shared output directory.
+    pub fn telemetry_dir(&self) -> PathBuf {
+        self.telemetry_dir
+            .clone()
+            .unwrap_or_else(|| self.out_dir.clone())
+    }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    /// The flight-recorder dump path under the telemetry directory.
+    pub fn flight_recorder_path(&self) -> PathBuf {
+        self.telemetry_dir().join("flight_recorder.jsonl")
+    }
+
+    /// Writes the two telemetry artifacts when `--telemetry` was passed
+    /// (no-op otherwise):
+    ///
+    /// * `telemetry_logical.json` — the process-global **logical**
+    ///   snapshot (plus `extra_logical`, e.g. a fleet sim's per-run
+    ///   registry). Deterministic: byte-identical across
+    ///   thread/shard/executor counts for the same experiment, so CI
+    ///   byte-diffs it between a serial and a pooled run.
+    /// * `telemetry_timing.json` — the **timing** snapshot: timing-kind
+    ///   metrics, the datacenter control-plane spans, per-worker pool
+    ///   busy/uptime (plus `extra_timing`). Wall-clock; never
+    ///   byte-compared, only parsed.
+    pub fn write_telemetry(
+        &self,
+        bench: &str,
+        extra_logical: Option<&JsonObject>,
+        extra_timing: Option<&JsonObject>,
+    ) {
+        if !self.telemetry {
+            return;
+        }
+        let dir = self.telemetry_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return;
+        }
+        let reg = MetricsRegistry::global();
+        let mut logical = JsonObject::new()
+            .str("bench", bench)
+            .str("kind", "logical")
+            .int("seed", self.seed)
+            .object("metrics", &reg.snapshot(MetricKind::Logical));
+        if let Some(extra) = extra_logical {
+            logical = logical.object("run", extra);
+        }
+        let pool = WorkerPool::global();
+        let busy = pool.busy_ns();
+        let busy_items: Vec<JsonObject> = busy
+            .iter()
+            .enumerate()
+            .map(|(i, &ns)| {
+                JsonObject::new()
+                    .int("worker", i as u64)
+                    .num("busy_ms", ns as f64 / 1e6)
+            })
+            .collect();
+        let pool_json = JsonObject::new()
+            .int("workers", busy.len() as u64)
+            .num("uptime_ms", pool.uptime_ns() as f64 / 1e6)
+            .array("busy", &busy_items);
+        let mut timing = JsonObject::new()
+            .str("bench", bench)
+            .str("kind", "timing")
+            .object("metrics", &reg.snapshot(MetricKind::Timing))
+            .object("dc_spans", &dc_spans().to_json())
+            .object("pool", &pool_json);
+        if let Some(extra) = extra_timing {
+            timing = timing.object("run", extra);
+        }
+        for (name, obj) in [
+            ("telemetry_logical.json", &logical),
+            ("telemetry_timing.json", &timing),
+        ] {
+            let path = dir.join(name);
+            match std::fs::write(&path, obj.render()) {
+                Ok(()) => println!("[wrote {}]", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
         }
     }
-    out
 }
 
-impl JsonObject {
-    /// An empty object.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds a string field.
-    pub fn str(mut self, key: &str, value: &str) -> Self {
-        self.fields
-            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
-        self
-    }
-
-    /// Adds a finite-number field (non-finite values become `null`).
-    pub fn num(mut self, key: &str, value: f64) -> Self {
-        let v = if value.is_finite() {
-            format!("{value}")
-        } else {
-            "null".to_string()
-        };
-        self.fields.push((key.to_string(), v));
-        self
-    }
-
-    /// Adds an integer field.
-    pub fn int(mut self, key: &str, value: u64) -> Self {
-        self.fields.push((key.to_string(), value.to_string()));
-        self
-    }
-
-    /// Adds a boolean field.
-    pub fn bool(mut self, key: &str, value: bool) -> Self {
-        self.fields.push((key.to_string(), value.to_string()));
-        self
-    }
-
-    /// Adds a single nested object.
-    pub fn object(mut self, key: &str, value: &JsonObject) -> Self {
-        self.fields.push((key.to_string(), value.render_flat()));
-        self
-    }
-
-    /// Adds an array of nested objects.
-    pub fn array(mut self, key: &str, items: &[JsonObject]) -> Self {
-        let rendered: Vec<String> = items.iter().map(|o| o.render_flat()).collect();
-        self.fields
-            .push((key.to_string(), format!("[{}]", rendered.join(","))));
-        self
-    }
-
-    fn render_flat(&self) -> String {
-        let fields: Vec<String> = self
-            .fields
-            .iter()
-            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
-            .collect();
-        format!("{{{}}}", fields.join(","))
-    }
-
-    /// Renders the object as pretty-enough JSON (one field per line).
-    pub fn render(&self) -> String {
-        let fields: Vec<String> = self
-            .fields
-            .iter()
-            .map(|(k, v)| format!("  \"{}\": {v}", json_escape(k)))
-            .collect();
-        format!("{{\n{}\n}}\n", fields.join(",\n"))
-    }
-}
+pub use dds_telemetry::json::{json_escape, JsonObject};
 
 /// Formats a fraction as `xx.x` percent.
 pub fn pct1(x: f64) -> String {
@@ -292,6 +319,55 @@ mod tests {
         assert_eq!(o.threads, 0);
         assert_eq!(o.hosts, None);
         assert!(!o.json);
+        assert!(!o.telemetry);
+        assert_eq!(o.telemetry_dir, None);
+        assert_eq!(o.trace_epochs, 0);
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let args: Vec<String> = ["--telemetry", "--trace-epochs", "64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (opts, rest) = ExpOptions::parse(&args);
+        assert!(rest.is_empty());
+        assert!(opts.telemetry);
+        assert_eq!(opts.trace_epochs, 64);
+        assert_eq!(opts.telemetry_dir(), opts.out_dir);
+
+        let args: Vec<String> = vec!["--telemetry=tele/out".to_string()];
+        let (opts, rest) = ExpOptions::parse(&args);
+        assert!(rest.is_empty());
+        assert!(opts.telemetry);
+        assert_eq!(opts.telemetry_dir(), PathBuf::from("tele/out"));
+        assert_eq!(
+            opts.flight_recorder_path(),
+            PathBuf::from("tele/out/flight_recorder.jsonl")
+        );
+    }
+
+    #[test]
+    fn telemetry_artifacts_are_gated_and_split() {
+        let dir = std::env::temp_dir().join(format!("dds-bench-tele-{}", std::process::id()));
+        let mut opts = ExpOptions {
+            telemetry_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        // Gated: nothing written without the flag.
+        opts.write_telemetry("demo", None, None);
+        assert!(!exists(&dir.join("telemetry_logical.json")));
+        opts.telemetry = true;
+        let run = JsonObject::new().int("fleet.suspends", 12);
+        opts.write_telemetry("demo", Some(&run), None);
+        let logical = std::fs::read_to_string(dir.join("telemetry_logical.json")).unwrap();
+        assert!(logical.contains("\"kind\": \"logical\""), "{logical}");
+        assert!(logical.contains("\"fleet.suspends\":12"), "{logical}");
+        let timing = std::fs::read_to_string(dir.join("telemetry_timing.json")).unwrap();
+        assert!(timing.contains("\"kind\": \"timing\""), "{timing}");
+        assert!(timing.contains("\"pool\""), "{timing}");
+        assert!(timing.contains("\"dc_spans\""), "{timing}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -111,6 +111,7 @@ impl Datacenter {
         self.vms[vm_id.index()].host = to;
         self.vms[vm_id.index()].migrations += 1;
         self.vms[vm_id.index()].last_migration_hour = Some(self.hour);
+        telemetry::DcMetrics::get().migrations.inc();
         self.record_placement(vm_id, now, to);
     }
 
@@ -126,6 +127,7 @@ impl Datacenter {
         // before it plans (ControlPolicy::observe_qos).
         if let Some(window) = self.qos.as_mut().and_then(|q| q.pending.take()) {
             self.policy.observe_qos(&window);
+            telemetry::DcMetrics::get().qos_windows.inc();
         }
 
         // --- activity levels and idleness scores for this hour.
@@ -157,6 +159,7 @@ impl Datacenter {
 
         // --- consolidation round.
         if h.is_multiple_of(self.cfg.relocation_period_hours) {
+            let _span = telemetry::dc_spans().span("dc.consolidate");
             self.consolidate(&levels, &scores, hour_start);
         }
 
@@ -172,15 +175,18 @@ impl Datacenter {
             .collect();
 
         // --- per-host hour simulation.
-        for hid in 0..self.hosts.len() {
-            self.simulate_host_hour(
-                HostId::from_index(hid),
-                &levels,
-                noise,
-                hour_start,
-                hour_end,
-                &anticipated,
-            );
+        {
+            let _span = telemetry::dc_spans().span("dc.advance_hosts");
+            for hid in 0..self.hosts.len() {
+                self.simulate_host_hour(
+                    HostId::from_index(hid),
+                    &levels,
+                    noise,
+                    hour_start,
+                    hour_end,
+                    &anticipated,
+                );
+            }
         }
 
         // --- colocation bookkeeping.
@@ -226,6 +232,7 @@ impl Datacenter {
         // the hour, so each lookup resolves in recorded history), then
         // drop the intervals no future arrival can need.
         if let Some(q) = self.qos.as_mut() {
+            let _span = telemetry::dc_spans().span("dc.qos_fold");
             q.process_epoch(h, &self.hosts, &self.vms);
             if !self.cfg.track_power_timeline {
                 for host in &mut self.hosts {

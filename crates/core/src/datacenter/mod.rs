@@ -49,6 +49,7 @@ mod accounting;
 mod control;
 mod engine;
 mod qos_stream;
+mod telemetry;
 #[cfg(test)]
 mod tests;
 mod wake;
@@ -56,6 +57,7 @@ mod wake;
 pub use engine::{DcEngine, DcEvent, EngineConfig};
 use qos_stream::QosStream;
 pub use qos_stream::QosStreamConfig;
+pub use telemetry::dc_spans;
 
 use crate::spec::{HostSpec, VmSpec, WorkloadKind};
 use dds_hostos::{
@@ -371,10 +373,43 @@ pub struct PlacementRecord {
     pub host: HostId,
 }
 
+/// What triggered a host resume — the diagnostic axis the wake log was
+/// missing: a fleet drowning in *traffic* wakes has a prediction
+/// problem (the waking date came too late), one drowning in
+/// *management* wakes has a consolidation problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeCause {
+    /// A request arrived for a parked host (WoL packet wake) — the cold
+    /// path that charges its trigger the full resume latency.
+    Traffic,
+    /// An anticipated timer wake: a timer-driven resident became active
+    /// exactly when the idleness model predicted, served warm.
+    Timer,
+    /// The waking module's lead-adjusted schedule fired (event-engine
+    /// pre-wakes ahead of the predicted waking date).
+    Scheduled,
+    /// A management operation (migration, admission, consolidation
+    /// move) needed the host operational.
+    Management,
+}
+
+impl WakeCause {
+    /// Stable lowercase label (telemetry and log rendering).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WakeCause::Traffic => "traffic",
+            WakeCause::Timer => "timer",
+            WakeCause::Scheduled => "scheduled",
+            WakeCause::Management => "management",
+        }
+    }
+}
+
 /// One host resume, as recorded by the wake log: when the wake began
-/// (WoL received / wake condition hit) and when the host was operational
-/// again. Fuels the sub-hour wake-latency accounting tests and
-/// diagnostics; recording costs one small struct per resume.
+/// (WoL received / wake condition hit), when the host was operational
+/// again, which simulated hour it happened in and what triggered it.
+/// Fuels the sub-hour wake-latency accounting tests and diagnostics;
+/// recording costs one small struct per resume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WakeRecord {
     /// The resumed host.
@@ -385,6 +420,10 @@ pub struct WakeRecord {
     pub operational: SimTime,
     /// True when resuming from S5 soft-off (stock latency) rather than S3.
     pub from_off: bool,
+    /// Simulated hour (control epoch) the resume began in.
+    pub epoch: u64,
+    /// What triggered the resume.
+    pub cause: WakeCause,
 }
 
 /// The simulated datacenter.

@@ -723,3 +723,39 @@ fn sleepscale_timer_wakes_from_s5_are_still_anticipated() {
         out.global_suspended_fraction
     );
 }
+
+#[test]
+fn wake_log_carries_epoch_and_cause() {
+    // A bursty interactive VM forces packet (traffic) wakes; a
+    // timer-driven one gets anticipated wakes. Every record is tagged
+    // with the hour it happened in and why the host resumed.
+    let busy = TracePattern::RandomBursts {
+        duty: 0.3,
+        intensity: 0.6,
+    }
+    .generate(72, &mut SimRng::new(9));
+    let nightly = TracePattern::paper_daily_backup().generate(72, &mut SimRng::new(5));
+    let mut dc = two_host_dc(
+        Algorithm::DrowsyDc,
+        vec![
+            (busy, WorkloadKind::Interactive),
+            (nightly, WorkloadKind::TimerDriven),
+        ],
+    );
+    dc.run(72);
+    let wakes = dc.wake_log().to_vec();
+    assert!(!wakes.is_empty(), "the bursty VM triggered wakes");
+    for w in &wakes {
+        assert!(w.epoch < 72, "epoch {} out of horizon", w.epoch);
+        // The record's instants sit inside (or at the boundary of) its
+        // tagged control epoch.
+        assert!(w.started >= SimTime::from_hours(w.epoch));
+        assert!(w.started < SimTime::from_hours(w.epoch + 1));
+    }
+    assert!(
+        wakes.iter().any(|w| w.cause == WakeCause::Traffic),
+        "bursty interactive load produces traffic wakes"
+    );
+    let labels: std::collections::HashSet<&str> = wakes.iter().map(|w| w.cause.label()).collect();
+    assert!(labels.iter().all(|l| !l.is_empty()));
+}

@@ -1,6 +1,7 @@
 //! The suspend/wake path: per-host hour simulation, resume handling and
 //! management wakes.
 
+use super::telemetry::DcMetrics;
 use super::*;
 
 impl Datacenter {
@@ -14,7 +15,9 @@ impl Datacenter {
         let state = self.hosts[host.index()].power.state();
         match state {
             PowerState::Active => now.max(self.hosts[host.index()].meter.cursor()),
-            PowerState::Suspended | PowerState::Off => self.resume_host(host, now),
+            PowerState::Suspended | PowerState::Off => {
+                self.resume_host(host, now, WakeCause::Management)
+            }
             _ => now,
         }
     }
@@ -22,7 +25,7 @@ impl Datacenter {
     /// Resumes a host parked in S3 or S5 starting at `at`; returns
     /// completion. S5 always pays the stock (slow) resume path — the
     /// quick-resume work targets suspend-to-RAM.
-    pub(super) fn resume_host(&mut self, host: HostId, at: SimTime) -> SimTime {
+    pub(super) fn resume_host(&mut self, host: HostId, at: SimTime, cause: WakeCause) -> SimTime {
         let from_off = self.hosts[host.index()].power.state() == PowerState::Off;
         let timings = self.hosts[host.index()].meter.model().timings;
         let latency = if from_off {
@@ -50,7 +53,18 @@ impl Datacenter {
             started: at,
             operational: done,
             from_off,
+            epoch: self.hour,
+            cause,
         });
+        let dcm = DcMetrics::get();
+        match cause {
+            WakeCause::Traffic => dcm.traffic_wakes.inc(),
+            WakeCause::Timer => dcm.timer_wakes.inc(),
+            WakeCause::Scheduled => dcm.scheduled_wakes.inc(),
+            WakeCause::Management => dcm.management_wakes.inc(),
+        }
+        dcm.wake_resume_ms
+            .record(done.saturating_since(at).as_millis());
         done
     }
 
@@ -64,7 +78,7 @@ impl Datacenter {
         for cmd in commands {
             let host = cmd.mac.host();
             if self.hosts[host.index()].power.state().is_low_power() {
-                self.resume_host(host, now);
+                self.resume_host(host, now, WakeCause::Scheduled);
                 resumed += 1;
             }
         }
@@ -137,7 +151,12 @@ impl Datacenter {
                     let headroom = resume.max(SimDuration::from_secs(1));
                     (hour_start + offset).min(hour_end - headroom)
                 };
-                let done = self.resume_host(hid, wake_at);
+                let cause = if anticipated_wake {
+                    WakeCause::Timer
+                } else {
+                    WakeCause::Traffic
+                };
+                let done = self.resume_host(hid, wake_at, cause);
                 if self.cfg.track_sla && !anticipated_wake {
                     // The triggering request pays the full resume latency
                     // plus its service time.
@@ -178,6 +197,7 @@ impl Datacenter {
             // absorbing wake-induced SLA violations is held powered this
             // hour — the closed-loop consumer of the streaming QoS signal.
             if !self.policy.allow_suspend(hid) {
+                DcMetrics::get().suspend_vetoes.inc();
                 let h = &mut self.hosts[hid.index()];
                 h.meter.advance(hour_end, PowerState::Active, metered_util);
                 return;
@@ -235,6 +255,7 @@ impl Datacenter {
                             }
                         }
                         host.meter.record_suspend_cycle();
+                        DcMetrics::get().suspends.inc();
                         // Register with the waking module.
                         let vms: Vec<(VmIp, VmId)> = self
                             .vms

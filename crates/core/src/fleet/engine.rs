@@ -52,10 +52,14 @@
 
 use std::time::Instant;
 
+use dds_placement::capacity::IndexOps;
 use dds_placement::CapacityIndex;
 use dds_power::HostPowerModel;
 use dds_sim_core::qos::QosReport;
 use dds_sim_core::{SimRng, WorkerPool};
+use dds_telemetry::{
+    Counter, EpochRecord, FlightRecorder, JsonObject, MetricKind, MetricsRegistry, SpanRecorder,
+};
 
 use super::arena::{link, unlink, HostColumns, PowerState, VmArena, VmRef, NO_SLOT, NO_WAKE};
 use super::workload::{active_vcpus, is_active, next_active_hour, next_idle_hour, WorkloadClass};
@@ -166,6 +170,12 @@ pub struct FleetConfig {
     /// Request-level QoS ride-along; `None` (the default) runs the
     /// engine exactly as before, digest included.
     pub qos: Option<FleetQosConfig>,
+    /// Flight-recorder capacity in epochs: the last `trace_epochs`
+    /// epochs are retained as structured [`EpochRecord`]s (transition
+    /// counts, churn deltas, per-shard and merged digests). `0` (the
+    /// default) disables recording entirely — the hooks stay wired but
+    /// every push is a no-op.
+    pub trace_epochs: usize,
 }
 
 impl FleetConfig {
@@ -186,6 +196,7 @@ impl FleetConfig {
             stepping: SteppingMode::Macro,
             class_mix: [1, 1, 1, 1],
             qos: None,
+            trace_epochs: 0,
         }
     }
 }
@@ -234,6 +245,12 @@ pub struct FleetOutcome {
     pub control_ms: f64,
     /// Wall-clock spent advancing host shards.
     pub advance_ms: f64,
+    /// Wall-clock spent inside placement decisions (a subset of
+    /// `churn_ms` — the index/scan query time alone).
+    pub placement_ms: f64,
+    /// Wall-clock spent folding the hour's QoS load into the streaming
+    /// report (a subset of `control_ms`).
+    pub qos_fold_ms: f64,
 }
 
 impl FleetOutcome {
@@ -702,6 +719,39 @@ impl MacroState {
     }
 }
 
+/// Static handles into the sim's per-run [`MetricsRegistry`]: resolved
+/// once at construction so every emission on the hot path is an atomic
+/// add, never a name lookup. All handles are [`MetricKind::Logical`] —
+/// their totals are order-independent sums of simulation events, so the
+/// logical snapshot is byte-identical across shard counts, executors
+/// and stepping modes.
+struct FleetMetrics {
+    placements: Counter,
+    rejections: Counter,
+    departures: Counter,
+    suspends: Counter,
+    resumes: Counter,
+    traffic_wakes: Counter,
+    qos_requests: Counter,
+    epochs: Counter,
+}
+
+impl FleetMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        let c = |name: &str| reg.counter(name, MetricKind::Logical);
+        FleetMetrics {
+            placements: c("fleet.placements"),
+            rejections: c("fleet.rejections"),
+            departures: c("fleet.departures"),
+            suspends: c("fleet.suspends"),
+            resumes: c("fleet.resumes"),
+            traffic_wakes: c("fleet.traffic_wakes"),
+            qos_requests: c("fleet.qos_requests"),
+            epochs: c("fleet.epochs"),
+        }
+    }
+}
+
 /// The sharded struct-of-arrays fleet simulation.
 pub struct FleetSim {
     cfg: FleetConfig,
@@ -733,10 +783,23 @@ pub struct FleetSim {
     churn_ns: u128,
     control_ns: u128,
     advance_ns: u128,
+    /// Time inside placement decisions (subset of `churn_ns`).
+    placement_ns: u128,
+    /// Time folding QoS load into the report (subset of `control_ns`).
+    qos_fold_ns: u128,
     /// Cached state digest, invalidated on any mutation.
     digest_cache: Option<u64>,
     /// Full digest recomputations (regression-tested cache behaviour).
     digest_computes: u64,
+    /// Per-run metrics registry (logical counters only on the hot path).
+    metrics: MetricsRegistry,
+    /// Resolved handles into `metrics`.
+    fm: FleetMetrics,
+    /// Bounded ring of per-epoch records; disabled at `trace_epochs: 0`.
+    recorder: FlightRecorder,
+    /// Per-phase wall-clock aggregation (churn, placement, advance,
+    /// merge, QoS fold).
+    spans: SpanRecorder,
 }
 
 impl FleetSim {
@@ -761,6 +824,9 @@ impl FleetSim {
             }
             PlacementMode::Scan => (None, None),
         };
+        let metrics = MetricsRegistry::new();
+        let fm = FleetMetrics::register(&metrics);
+        let recorder = FlightRecorder::new(cfg.trace_epochs);
         let mut sim = FleetSim {
             hosts: HostColumns::new(cfg.hosts, cfg.vcpus_per_host),
             vms: VmArena::new(),
@@ -784,8 +850,14 @@ impl FleetSim {
             churn_ns: 0,
             control_ns: 0,
             advance_ns: 0,
+            placement_ns: 0,
+            qos_fold_ns: 0,
             digest_cache: None,
             digest_computes: 0,
+            metrics,
+            fm,
+            recorder,
+            spans: SpanRecorder::new(),
             cfg,
         };
         if sim.cfg.stepping == SteppingMode::Macro {
@@ -841,6 +913,51 @@ impl FleetSim {
         self.qos.as_ref()
     }
 
+    /// The per-run metrics registry (logical event counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The epoch flight recorder (disabled unless
+    /// [`FleetConfig::trace_epochs`] is positive).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The per-phase wall-clock span aggregation.
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    /// Folds the end-of-run state gauges — live VMs, demanded vCPUs,
+    /// fleet digest and capacity-index operation counts — into the
+    /// registry and returns the **logical** snapshot: a sorted, rendered
+    /// JSON object that is byte-identical across shard counts,
+    /// executors and stepping modes for the same config. Idempotent
+    /// (gauges are set, not added), so it can be called repeatedly.
+    pub fn logical_telemetry(&mut self) -> JsonObject {
+        let digest = self.digest();
+        let mut ops = IndexOps::default();
+        for ix in [&self.awake, &self.asleep].into_iter().flatten() {
+            let o = ix.ops();
+            ops.admits += o.admits;
+            ops.evicts += o.evicts;
+            ops.parks += o.parks;
+            ops.unparks += o.unparks;
+            ops.queries += o.queries;
+        }
+        let g = |name: &str| self.metrics.gauge(name, MetricKind::Logical);
+        g("fleet.live_vms").set(self.live.len() as u64);
+        g("fleet.demand_vcpus").set(self.qos_demand_vcpus);
+        g("fleet.digest").set(digest);
+        g("fleet.index_admits").set(ops.admits);
+        g("fleet.index_evicts").set(ops.evicts);
+        g("fleet.index_parks").set(ops.parks);
+        g("fleet.index_unparks").set(ops.unparks);
+        g("fleet.index_queries").set(ops.queries);
+        self.metrics.snapshot(MetricKind::Logical)
+    }
+
     /// Total energy host `slot` has drawn so far, in watt-hours: the
     /// irregular (active + transition) accumulation plus the
     /// exactly-counted drowsy hours. Call [`FleetSim::sync`] first in
@@ -854,7 +971,10 @@ impl FleetSim {
     /// fits. Exercised by churn and directly by tests.
     pub fn admit_vm(&mut self, class: WorkloadClass, phase: u32, vcpus: u32) -> Option<VmRef> {
         self.digest_cache = None;
-        let host = self.place(vcpus)?;
+        let tp = Instant::now();
+        let host = self.place(vcpus);
+        self.placement_ns += tp.elapsed().as_nanos();
+        let host = host?;
         let r = self.vms.alloc(class, phase, vcpus);
         link(&mut self.hosts, &mut self.vms, host, r);
         if let Some(ix) = &mut self.awake {
@@ -869,6 +989,7 @@ impl FleetSim {
         self.touch(host);
         self.live.push(r);
         self.placements += 1;
+        self.fm.placements.inc();
         Some(r)
     }
 
@@ -928,6 +1049,7 @@ impl FleetSim {
         let vcpus = 1u32 << self.rng.below(3); // 1, 2 or 4 vCPUs
         if self.admit_vm(class, phase, vcpus).is_none() {
             self.rejections += 1;
+            self.fm.rejections.inc();
         }
     }
 
@@ -955,6 +1077,7 @@ impl FleetSim {
         }
         self.touch(host);
         self.departures += 1;
+        self.fm.departures.inc();
     }
 
     /// Shards actually used for the advance phase.
@@ -978,6 +1101,10 @@ impl FleetSim {
             "fleet hours must advance contiguously from 0"
         );
         self.digest_cache = None;
+        let placements0 = self.placements;
+        let rejections0 = self.rejections;
+        let departures0 = self.departures;
+        let place_ns0 = self.placement_ns;
         let t0 = Instant::now();
         let departures = self.cfg.churn_per_epoch.min(self.live.len());
         for _ in 0..departures {
@@ -986,17 +1113,60 @@ impl FleetSim {
         for _ in 0..self.cfg.churn_per_epoch {
             self.arrival();
         }
-        self.churn_ns += t0.elapsed().as_nanos();
+        let churn_dt = t0.elapsed().as_nanos();
+        self.churn_ns += churn_dt;
+        let place_dt = self.placement_ns - place_ns0;
+        self.spans.add_ns("fleet.placement", place_dt);
+        self.spans
+            .add_ns("fleet.churn", churn_dt.saturating_sub(place_dt));
 
         let t1 = Instant::now();
         let outcomes = self.advance_hosts(hour);
-        self.advance_ns += t1.elapsed().as_nanos();
+        let adv_dt = t1.elapsed().as_nanos();
+        self.advance_ns += adv_dt;
+        self.spans.add_ns("fleet.advance", adv_dt);
 
         let t2 = Instant::now();
+        let tracing = self.recorder.enabled();
+        let mut ep = EpochRecord {
+            epoch: hour,
+            ..EpochRecord::default()
+        };
+        // When tracing, transitions are also gathered per category in
+        // merge order. Shard ranges are contiguous and ascending, so the
+        // concatenation per category equals the global ascending slot
+        // order — the merged digest is shard-count invariant, while the
+        // per-shard digests localise a divergence to one range.
+        let mut all_suspended: Vec<u32> = Vec::new();
+        let mut all_woken: Vec<u32> = Vec::new();
+        let mut all_traffic: Vec<u32> = Vec::new();
         for out in outcomes {
+            ep.suspends += out.suspended.len() as u64;
+            ep.resumes += out.woken.len() as u64;
+            ep.traffic_wakes += out.traffic_woken.len() as u64;
+            ep.qos_demand_delta += out.demand_delta;
             self.suspends += out.suspended.len() as u64;
             self.resumes += out.woken.len() as u64;
             self.qos_demand_vcpus = (self.qos_demand_vcpus as i64 + out.demand_delta) as u64;
+            if tracing {
+                let mut fnv = Fnv::new();
+                for &slot in &out.suspended {
+                    fnv.add(slot as u64);
+                }
+                fnv.add(u64::MAX);
+                for &slot in &out.woken {
+                    fnv.add(slot as u64);
+                }
+                fnv.add(u64::MAX);
+                for &slot in &out.traffic_woken {
+                    fnv.add(slot as u64);
+                }
+                fnv.add(out.demand_delta as u64);
+                ep.shard_digests.push(fnv.0);
+                all_suspended.extend_from_slice(&out.suspended);
+                all_woken.extend_from_slice(&out.woken);
+                all_traffic.extend_from_slice(&out.traffic_woken);
+            }
             if let (Some(awake), Some(asleep)) = (&mut self.awake, &mut self.asleep) {
                 for &slot in &out.suspended {
                     awake.park(slot);
@@ -1014,15 +1184,46 @@ impl FleetSim {
                 }
             }
         }
+        let tq = Instant::now();
         if let (Some(qcfg), Some(report)) = (&self.cfg.qos, &mut self.qos) {
             // The hour's steady load, served warm: one bulk record at the
             // demand sum the merge just settled.
-            report.record_n(
-                qcfg.service_ms,
-                self.qos_demand_vcpus * qcfg.requests_per_vcpu_hour,
-            );
+            let steady = self.qos_demand_vcpus * qcfg.requests_per_vcpu_hour;
+            report.record_n(qcfg.service_ms, steady);
+            ep.qos_records = steady + ep.traffic_wakes;
         }
-        self.control_ns += t2.elapsed().as_nanos();
+        let qos_dt = tq.elapsed().as_nanos();
+        let ctl_dt = t2.elapsed().as_nanos();
+        self.control_ns += ctl_dt;
+        self.qos_fold_ns += qos_dt;
+        self.spans.add_ns("fleet.qos_fold", qos_dt);
+        self.spans
+            .add_ns("fleet.merge", ctl_dt.saturating_sub(qos_dt));
+        self.fm.suspends.add(ep.suspends);
+        self.fm.resumes.add(ep.resumes);
+        self.fm.traffic_wakes.add(ep.traffic_wakes);
+        self.fm.qos_requests.add(ep.qos_records);
+        self.fm.epochs.inc();
+        if tracing {
+            let mut fnv = Fnv::new();
+            for &slot in &all_suspended {
+                fnv.add(slot as u64);
+            }
+            fnv.add(u64::MAX);
+            for &slot in &all_woken {
+                fnv.add(slot as u64);
+            }
+            fnv.add(u64::MAX);
+            for &slot in &all_traffic {
+                fnv.add(slot as u64);
+            }
+            fnv.add(ep.qos_demand_delta as u64);
+            ep.digest = fnv.0;
+            ep.placements = self.placements - placements0;
+            ep.rejections = self.rejections - rejections0;
+            ep.departures = self.departures - departures0;
+            self.recorder.push(ep);
+        }
         self.hour = hour + 1;
     }
 
@@ -1230,11 +1431,18 @@ impl FleetSim {
         fnv.0
     }
 
-    /// Runs the full horizon and reports.
-    pub fn run(mut self) -> FleetOutcome {
-        for hour in 0..self.cfg.horizon_hours {
+    /// Steps every remaining hour up to the configured horizon. Use
+    /// this instead of [`FleetSim::run`] when the sim must stay alive
+    /// afterwards (to read the recorder, metrics or spans).
+    pub fn run_horizon(&mut self) {
+        for hour in self.hour..self.cfg.horizon_hours {
             self.step_hour(hour);
         }
+    }
+
+    /// Runs the full horizon and reports.
+    pub fn run(mut self) -> FleetOutcome {
+        self.run_horizon();
         self.outcome()
     }
 
@@ -1268,6 +1476,8 @@ impl FleetSim {
             churn_ms: self.churn_ns as f64 / 1e6,
             control_ms: self.control_ns as f64 / 1e6,
             advance_ms: self.advance_ns as f64 / 1e6,
+            placement_ms: self.placement_ns as f64 / 1e6,
+            qos_fold_ms: self.qos_fold_ns as f64 / 1e6,
         }
     }
 }
@@ -1572,5 +1782,124 @@ mod tests {
             ..base_cfg()
         });
         assert!(busy.active_host_hours > 5 * busy.drowsy_host_hours);
+    }
+
+    /// The acceptance bar: the rendered **logical** telemetry artifact
+    /// is byte-identical across `{1,4} shards × {scoped,pooled}`
+    /// executors — counters are order-independent event sums, so the
+    /// execution grid cannot leak into them.
+    #[test]
+    fn logical_telemetry_is_byte_identical_across_the_grid() {
+        let mut reference: Option<String> = None;
+        for shards in [1usize, 4] {
+            for executor in [ExecutorMode::Scoped, ExecutorMode::Pool] {
+                let mut sim = FleetSim::new(FleetConfig {
+                    shards,
+                    executor,
+                    qos: Some(FleetQosConfig::paper_default()),
+                    ..base_cfg()
+                });
+                sim.run_horizon();
+                let rendered = sim.logical_telemetry().render();
+                match &reference {
+                    None => reference = Some(rendered),
+                    Some(want) => assert_eq!(
+                        want, &rendered,
+                        "logical telemetry diverged at shards={shards} executor={executor:?}"
+                    ),
+                }
+            }
+        }
+        let snapshot = reference.expect("grid produced at least one snapshot");
+        assert!(snapshot.contains("\"fleet.placements\""));
+        assert!(snapshot.contains("\"fleet.digest\""));
+    }
+
+    /// The metric counters agree with the engine's own tallies, and the
+    /// span recorder saw every phase of every epoch.
+    #[test]
+    fn metrics_and_spans_track_the_run() {
+        let mut sim = FleetSim::new(base_cfg());
+        sim.run_horizon();
+        let out = sim.outcome();
+        let reg = sim.metrics();
+        let get = |name: &str| reg.counter(name, MetricKind::Logical).get();
+        assert_eq!(get("fleet.placements"), out.placements);
+        assert_eq!(get("fleet.rejections"), out.rejections);
+        assert_eq!(get("fleet.departures"), out.departures);
+        assert_eq!(get("fleet.suspends"), out.suspends);
+        assert_eq!(get("fleet.resumes"), out.resumes);
+        assert_eq!(get("fleet.epochs"), out.horizon_hours);
+        for phase in [
+            "fleet.churn",
+            "fleet.placement",
+            "fleet.advance",
+            "fleet.merge",
+            "fleet.qos_fold",
+        ] {
+            let calls = sim
+                .spans()
+                .totals()
+                .into_iter()
+                .find(|(name, _, _)| name == phase)
+                .map(|(_, calls, _)| calls)
+                .unwrap_or(0);
+            assert_eq!(calls, out.horizon_hours, "span {phase} missed epochs");
+        }
+    }
+
+    /// Flight-recorder ride-along: per-epoch merged digests are
+    /// invariant across the shard grid (per-shard digests are not —
+    /// they localise, the merged digest compares), the ring holds the
+    /// last `trace_epochs` epochs, and `first_divergence` is `None` for
+    /// identical runs.
+    #[test]
+    fn flight_recorder_merged_digests_are_shard_invariant() {
+        let trace = 32usize;
+        let mut recs: Vec<FlightRecorder> = Vec::new();
+        for (shards, executor) in [
+            (1usize, ExecutorMode::Scoped),
+            (4, ExecutorMode::Scoped),
+            (4, ExecutorMode::Pool),
+        ] {
+            let mut sim = FleetSim::new(FleetConfig {
+                shards,
+                executor,
+                trace_epochs: trace,
+                ..base_cfg()
+            });
+            sim.run_horizon();
+            assert_eq!(sim.recorder().len(), trace);
+            recs.push(sim.recorder().clone());
+        }
+        let one = recs[0].records();
+        let four = recs[1].records();
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.digest, b.digest, "merged digest diverged at {}", a.epoch);
+            assert_eq!(a.shard_digests.len(), 1);
+            assert_eq!(b.shard_digests.len(), 4);
+        }
+        assert_eq!(recs[0].first_divergence(&recs[1]), None);
+        assert_eq!(recs[1].first_divergence(&recs[2]), None);
+        // Tampering with one record names the divergent epoch.
+        let forged = FlightRecorder::new(trace);
+        for mut r in recs[1].records() {
+            if r.epoch == one[5].epoch {
+                r.digest ^= 1;
+            }
+            forged.push(r);
+        }
+        assert_eq!(recs[0].first_divergence(&forged), Some(one[5].epoch));
+    }
+
+    /// A disabled recorder (the default) stays empty for free.
+    #[test]
+    fn recorder_is_disabled_by_default() {
+        let mut sim = FleetSim::new(base_cfg());
+        sim.run_horizon();
+        assert!(!sim.recorder().enabled());
+        assert!(sim.recorder().is_empty());
     }
 }

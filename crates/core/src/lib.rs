@@ -48,8 +48,8 @@ pub use cluster::{
     run_cluster, run_cluster_policy, run_cluster_policy_with, ClusterOutcome, ClusterSpec,
 };
 pub use datacenter::{
-    AdmitError, Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig,
-    WakeRecord,
+    dc_spans, AdmitError, Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome,
+    EngineConfig, WakeCause, WakeRecord,
 };
 pub use fleet::{
     run_fleet, ExecutorMode, FleetConfig, FleetOutcome, FleetQosConfig, FleetSim, PlacementMode,

@@ -27,10 +27,37 @@
 //! `HostId`), matching the SoA arenas of the fleet engine; the caller owns
 //! the slot ↔ id mapping.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 /// Sentinel: no host satisfies the query.
 const NONE: u32 = u32::MAX;
+
+/// Operation counters maintained by [`CapacityIndex`] for telemetry.
+///
+/// Every count is a **logical** quantity — a pure function of the
+/// decision stream driving the index, independent of threads, shards or
+/// wall-clock — so it can feed the byte-diffed telemetry artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexOps {
+    /// `admit` calls (VM placed, free count dropped).
+    pub admits: u64,
+    /// `evict` calls (VM left, free count rose).
+    pub evicts: u64,
+    /// `park` calls (host excluded from placement).
+    pub parks: u64,
+    /// `unpark` calls (host returned to placement).
+    pub unparks: u64,
+    /// Fit queries answered (`first_fit` + `best_fit` + `worst_fit`).
+    pub queries: u64,
+}
+
+impl IndexOps {
+    /// Total operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.admits + self.evicts + self.parks + self.unparks + self.queries
+    }
+}
 
 /// An incrementally maintained "hosts by free vCPUs" index.
 ///
@@ -55,6 +82,10 @@ pub struct CapacityIndex {
     /// vCPUs, ordered by slot (`BTreeSet` gives O(log n) updates and an
     /// O(1) minimum — the deterministic tie-break).
     buckets: Vec<BTreeSet<u32>>,
+    /// Mutation counters (telemetry; see [`IndexOps`]).
+    ops: IndexOps,
+    /// Query counter; interior-mutable because fit queries take `&self`.
+    queries: Cell<u64>,
 }
 
 impl CapacityIndex {
@@ -70,6 +101,8 @@ impl CapacityIndex {
             free: free.to_vec(),
             parked: vec![false; free.len()],
             buckets,
+            ops: IndexOps::default(),
+            queries: Cell::new(0),
         }
     }
 
@@ -109,6 +142,14 @@ impl CapacityIndex {
         self.parked[slot as usize]
     }
 
+    /// Operation counts since construction (telemetry).
+    pub fn ops(&self) -> IndexOps {
+        IndexOps {
+            queries: self.queries.get(),
+            ..self.ops
+        }
+    }
+
     /// Total free vCPUs across unparked hosts.
     pub fn total_free(&self) -> u64 {
         self.free
@@ -142,6 +183,7 @@ impl CapacityIndex {
         let to = f.saturating_sub(vcpus);
         self.free[slot as usize] = to;
         self.move_bucket(slot, f, to);
+        self.ops.admits += 1;
     }
 
     /// Records a VM of `vcpus` leaving `slot` (its free count rises).
@@ -150,11 +192,13 @@ impl CapacityIndex {
         let to = f + vcpus;
         self.free[slot as usize] = to;
         self.move_bucket(slot, f, to);
+        self.ops.evicts += 1;
     }
 
     /// Removes the host from placement (suspended / drained). Free-count
     /// bookkeeping continues while parked. Idempotent.
     pub fn park(&mut self, slot: u32) {
+        self.ops.parks += 1;
         if !self.parked[slot as usize] {
             let f = self.free[slot as usize];
             self.buckets[f as usize].remove(&slot);
@@ -164,6 +208,7 @@ impl CapacityIndex {
 
     /// Returns the host to placement. Idempotent.
     pub fn unpark(&mut self, slot: u32) {
+        self.ops.unparks += 1;
         if self.parked[slot as usize] {
             self.parked[slot as usize] = false;
             let f = self.free[slot as usize];
@@ -176,6 +221,7 @@ impl CapacityIndex {
 
     /// The lowest-numbered unparked host with at least `need` free vCPUs.
     pub fn first_fit(&self, need: u32) -> Option<u32> {
+        self.queries.set(self.queries.get() + 1);
         let mut best = NONE;
         for bucket in self.buckets.iter().skip(need as usize) {
             if let Some(&slot) = bucket.first() {
@@ -188,6 +234,7 @@ impl CapacityIndex {
     /// The unparked host with the *fewest* free vCPUs still ≥ `need`
     /// (tightest fit packs the fleet); lowest slot on ties.
     pub fn best_fit(&self, need: u32) -> Option<u32> {
+        self.queries.set(self.queries.get() + 1);
         self.buckets
             .iter()
             .skip(need as usize)
@@ -197,6 +244,7 @@ impl CapacityIndex {
     /// The unparked host with the *most* free vCPUs ≥ `need` (roomiest
     /// fit spreads load); lowest slot on ties.
     pub fn worst_fit(&self, need: u32) -> Option<u32> {
+        self.queries.set(self.queries.get() + 1);
         self.buckets
             .iter()
             .skip(need as usize)
@@ -337,6 +385,31 @@ mod tests {
         assert_eq!(idx.best_fit(1), Some(0));
         assert_eq!(idx.len(), 2);
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn op_counters_track_the_decision_stream() {
+        let mut idx = CapacityIndex::new(&[8, 8]);
+        idx.admit(0, 2);
+        idx.evict(0, 1);
+        idx.park(1);
+        idx.park(1); // idempotent parks still count as calls
+        idx.unpark(1);
+        let _ = idx.best_fit(1);
+        let _ = idx.first_fit(1);
+        let _ = idx.worst_fit(1);
+        let ops = idx.ops();
+        assert_eq!(
+            ops,
+            IndexOps {
+                admits: 1,
+                evicts: 1,
+                parks: 2,
+                unparks: 1,
+                queries: 3,
+            }
+        );
+        assert_eq!(ops.total(), 8);
     }
 
     #[test]

@@ -30,9 +30,10 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Type-erased pointer to the batch's `run task i` closure. The pointee
 /// lives on the submitting thread's stack; it is only dereferenced while
@@ -136,6 +137,11 @@ struct PoolQueue {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Per-worker nanoseconds spent draining batches (telemetry;
+    /// wall-clock, never part of any logical artifact).
+    busy: Vec<Arc<AtomicU64>>,
+    /// Pool spawn instant, the denominator for busy/idle shares.
+    started: Instant,
 }
 
 impl WorkerPool {
@@ -150,18 +156,22 @@ impl WorkerPool {
             }),
             work_cv: Condvar::new(),
         });
+        let busy: Vec<Arc<AtomicU64>> = (0..workers).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let busy = Arc::clone(&busy[i]);
                 std::thread::Builder::new()
                     .name(format!("dds-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, &busy))
                     .expect("spawning a pool worker cannot fail")
             })
             .collect();
         WorkerPool {
             shared,
             workers: handles,
+            busy,
+            started: Instant::now(),
         }
     }
 
@@ -182,6 +192,23 @@ impl WorkerPool {
     /// Worker threads parked in this pool.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Per-worker nanoseconds spent executing batch tasks since the
+    /// pool spawned, in worker order. Time outside these totals is idle
+    /// (parked or scanning the queue). Telemetry only — wall-clock
+    /// readings belong in the timing artifact, never the logical one.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.busy
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Nanoseconds since the pool spawned — the denominator for
+    /// per-worker busy/idle shares.
+    pub fn uptime_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
     /// Runs `tasks` at a parallelism of at most `width` executors (the
@@ -292,8 +319,8 @@ impl Drop for WorkerPool {
 
 /// The worker thread body: park on the condvar until a batch with
 /// unclaimed tasks appears, join it (bounded by its width), drain, park
-/// again.
-fn worker_loop(shared: &Shared) {
+/// again. Drain time accumulates into the worker's `busy` cell.
+fn worker_loop(shared: &Shared, busy: &AtomicU64) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
@@ -316,8 +343,11 @@ fn worker_loop(shared: &Shared) {
                     .expect("pool queue poisoned while waiting");
             }
         };
+        let start = Instant::now();
         job.drain();
         job.joiners.fetch_sub(1, Ordering::SeqCst);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        busy.fetch_add(ns, Ordering::Relaxed);
     }
 }
 
@@ -433,6 +463,29 @@ mod tests {
         assert_eq!(ran.load(Ordering::SeqCst), 8);
         let out = pool.run_ordered(0, vec![|| 1u64, || 2]);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn busy_time_is_tracked_per_worker() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.busy_ns(), vec![0, 0, 0], "fresh workers are idle");
+        let tasks: Vec<_> = (0..64usize)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    i
+                }
+            })
+            .collect();
+        pool.run_ordered(0, tasks);
+        let busy = pool.busy_ns();
+        assert_eq!(busy.len(), 3);
+        // 64 × 2 ms across 4 executors: the 3 workers almost certainly
+        // claimed tasks; at minimum the totals are monotone and bounded
+        // by the pool's uptime.
+        assert!(busy.iter().sum::<u64>() > 0, "{busy:?}");
+        let uptime = pool.uptime_ns();
+        assert!(busy.iter().all(|&b| b <= uptime), "{busy:?} vs {uptime}");
     }
 
     #[test]

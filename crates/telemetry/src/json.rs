@@ -1,0 +1,150 @@
+//! A minimal hand-rolled JSON writer shared by every artifact emitter.
+//!
+//! Hoisted from `crates/bench` (where each binary's `BENCH_*.json` dump
+//! grew its own copy) so the telemetry artifacts, the flight recorder's
+//! JSONL rows and the experiment binaries all render through one
+//! implementation. The offline workspace carries no serde; this covers
+//! the subset the artifacts need — strings, numbers, bools, nested
+//! objects and flat arrays of objects — with deterministic field order
+//! (insertion order), which is what makes the byte-diff CI discipline
+//! possible.
+
+/// A minimal JSON-object builder for `BENCH_*.json` artifacts — numbers,
+/// strings, bools and flat arrays of objects, built by hand so the
+/// offline workspace needs no serde.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Adds a finite-number field (non-finite values become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), v));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a single nested object.
+    pub fn object(mut self, key: &str, value: &JsonObject) -> Self {
+        self.fields.push((key.to_string(), value.render_flat()));
+        self
+    }
+
+    /// Adds an array of nested objects.
+    pub fn array(mut self, key: &str, items: &[JsonObject]) -> Self {
+        let rendered: Vec<String> = items.iter().map(|o| o.render_flat()).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", rendered.join(","))));
+        self
+    }
+
+    /// Renders the object on one line (JSONL rows, nested values).
+    pub fn render_flat(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Renders the object as pretty-enough JSON (one field per line).
+    pub fn render(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{}\": {v}", json_escape(k)))
+            .collect();
+        format!("{{\n{}\n}}\n", fields.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_builder_renders_and_escapes() {
+        let obj = JsonObject::new()
+            .str("name", "engine \"quick\"")
+            .num("ratio", 1.5)
+            .int("hours", 48)
+            .bool("identical", true)
+            .array("points", &[JsonObject::new().int("n", 64).num("ms", 0.25)]);
+        let s = obj.render();
+        assert!(s.contains("\"name\": \"engine \\\"quick\\\"\""), "{s}");
+        assert!(s.contains("\"ratio\": 1.5"), "{s}");
+        assert!(s.contains("\"identical\": true"), "{s}");
+        assert!(s.contains("\"points\": [{\"n\":64,\"ms\":0.25}]"), "{s}");
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let s = JsonObject::new()
+            .num("nan", f64::NAN)
+            .num("inf", f64::INFINITY)
+            .render_flat();
+        assert_eq!(s, "{\"nan\":null,\"inf\":null}");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_escape("a\tb\nc"), "a\\u0009b\\nc");
+        assert_eq!(json_escape("q\"\\"), "q\\\"\\\\");
+    }
+
+    #[test]
+    fn render_flat_is_one_line() {
+        let s = JsonObject::new()
+            .int("epoch", 7)
+            .str("why", "ok")
+            .render_flat();
+        assert_eq!(s, "{\"epoch\":7,\"why\":\"ok\"}");
+        assert!(!s.contains('\n'));
+    }
+}

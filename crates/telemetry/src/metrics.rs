@@ -1,0 +1,375 @@
+//! The metrics registry: named counters, gauges and histograms with
+//! lock-cheap static handles.
+//!
+//! Wiring code registers a metric once (`registry.counter("fleet.wakes",
+//! MetricKind::Logical)`) and keeps the returned handle in a plain
+//! struct field; the hot path then pays a single relaxed atomic add.
+//! Registration is idempotent — asking for the same name again returns a
+//! handle to the same underlying cell, so a registry can be shared
+//! across subsystems without coordination.
+//!
+//! Snapshots iterate the metrics in name order (the registry keys a
+//! `BTreeMap`), so two runs that counted the same events render
+//! byte-identical JSON — the property the `telemetry-smoke` CI job
+//! byte-diffs across serial and pooled executions.
+
+use crate::json::JsonObject;
+use dds_sim_core::stats::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which artifact a metric belongs to — the determinism split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A simulation-domain quantity (counts, energies, digests): a pure
+    /// function of the seed, bit-identical across thread/shard/executor
+    /// grids, byte-diffed in CI.
+    Logical,
+    /// A wall-clock quantity (phase spans, worker busy time): varies run
+    /// to run, written to a separate artifact that is never byte-diffed.
+    Timing,
+}
+
+impl MetricKind {
+    /// Artifact label (`"logical"` / `"timing"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Logical => "logical",
+            MetricKind::Timing => "timing",
+        }
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Relaxed atomic add — exact, associative, commutative,
+    /// so parallel increments cannot change the total.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge. Set it only from deterministic (serial)
+/// code if it is registered as [`MetricKind::Logical`].
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared handle to a log-bucketed [`LatencyHistogram`]. All state is
+/// `u64` counters, so concurrent recording (one lock per sample batch)
+/// folds to bit-identical totals in any order.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<Mutex<LatencyHistogram>>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        // `LatencyHistogram::default()` zero-fills `min`; `new()` seeds
+        // the proper `u64::MAX` sentinel.
+        Histogram(Arc::new(Mutex::new(LatencyHistogram::new())))
+    }
+}
+
+impl Histogram {
+    /// Records one sample in milliseconds.
+    pub fn record(&self, ms: u64) {
+        self.0.lock().unwrap().record(ms);
+    }
+
+    /// Records `n` identical samples in one bump.
+    pub fn record_n(&self, ms: u64, n: u64) {
+        self.0.lock().unwrap().record_n(ms, n);
+    }
+
+    /// Merges a pre-built histogram (e.g. a worker shard's) into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.0.lock().unwrap().merge(other);
+    }
+
+    /// A copy of the current state.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Renders the summary fields (count/mean/min/max/p50/p99/p999).
+    fn to_json(&self) -> JsonObject {
+        let h = self.snapshot();
+        JsonObject::new()
+            .int("count", h.count())
+            .num("mean_ms", h.mean())
+            .int("min_ms", h.min().unwrap_or(0))
+            .int("max_ms", h.max().unwrap_or(0))
+            .num("p50_ms", h.quantile(0.5).unwrap_or(f64::NAN))
+            .num("p99_ms", h.quantile(0.99).unwrap_or(f64::NAN))
+            .num("p999_ms", h.quantile(0.999).unwrap_or(f64::NAN))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: BTreeMap<String, (MetricKind, Instrument)>,
+}
+
+/// A registry of named metrics. Cloning shares the underlying table, so
+/// one registry can be handed to every subsystem of a simulation; the
+/// registry lock is taken only at registration and snapshot time, never
+/// on the increment path.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry (per-simulation determinism tests want
+    /// their own).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry the experiment binaries snapshot. The
+    /// `Datacenter` emission points register here so every binary gets
+    /// DC-level telemetry without threading a handle through each layer.
+    pub fn global() -> MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::default).clone()
+    }
+
+    /// Registers (or retrieves) a counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument type or
+    /// kind — that is a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &str, kind: MetricKind) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        let (k, instr) = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (kind, Instrument::Counter(Counter::default())));
+        match (k, instr) {
+            (k, Instrument::Counter(c)) if *k == kind => c.clone(),
+            (k, instr) => panic!(
+                "metric {name} already registered as a {} {} (asked for a {} counter)",
+                k.label(),
+                instr.type_name(),
+                kind.label()
+            ),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge. Panics on a type/kind mismatch.
+    pub fn gauge(&self, name: &str, kind: MetricKind) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        let (k, instr) = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (kind, Instrument::Gauge(Gauge::default())));
+        match (k, instr) {
+            (k, Instrument::Gauge(g)) if *k == kind => g.clone(),
+            (k, instr) => panic!(
+                "metric {name} already registered as a {} {} (asked for a {} gauge)",
+                k.label(),
+                instr.type_name(),
+                kind.label()
+            ),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram. Panics on a type/kind
+    /// mismatch.
+    pub fn histogram(&self, name: &str, kind: MetricKind) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        let (k, instr) = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (kind, Instrument::Histogram(Histogram::default())));
+        match (k, instr) {
+            (k, Instrument::Histogram(h)) if *k == kind => h.clone(),
+            (k, instr) => panic!(
+                "metric {name} already registered as a {} {} (asked for a {} histogram)",
+                k.label(),
+                instr.type_name(),
+                kind.label()
+            ),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().metrics.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered names of one kind, in sorted order.
+    pub fn names(&self, kind: MetricKind) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .metrics
+            .iter()
+            .filter(|(_, (k, _))| *k == kind)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Snapshots every metric of `kind` into a JSON object, one field
+    /// per metric in sorted name order. For [`MetricKind::Logical`] the
+    /// rendering is byte-stable across runs that counted the same
+    /// events.
+    pub fn snapshot(&self, kind: MetricKind) -> JsonObject {
+        let inner = self.inner.lock().unwrap();
+        let mut out = JsonObject::new();
+        for (name, (k, instr)) in &inner.metrics {
+            if *k != kind {
+                continue;
+            }
+            out = match instr {
+                Instrument::Counter(c) => out.int(name, c.get()),
+                Instrument::Gauge(g) => out.int(name, g.get()),
+                Instrument::Histogram(h) => out.object(name, &h.to_json()),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_and_registration_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.wakes", MetricKind::Logical);
+        let b = reg.counter("x.wakes", MetricKind::Logical);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_split_by_kind() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second", MetricKind::Logical).add(2);
+        reg.counter("a.first", MetricKind::Logical).add(1);
+        reg.gauge("c.live", MetricKind::Logical).set(7);
+        reg.counter("z.span_ns", MetricKind::Timing).add(999);
+        let logical = reg.snapshot(MetricKind::Logical).render();
+        let timing = reg.snapshot(MetricKind::Timing).render();
+        let a = logical.find("a.first").unwrap();
+        let b = logical.find("b.second").unwrap();
+        let c = logical.find("c.live").unwrap();
+        assert!(a < b && b < c, "{logical}");
+        assert!(!logical.contains("z.span_ns"), "{logical}");
+        assert!(timing.contains("\"z.span_ns\": 999"), "{timing}");
+        assert_eq!(
+            reg.names(MetricKind::Logical),
+            vec!["a.first", "b.second", "c.live"]
+        );
+    }
+
+    #[test]
+    fn histogram_summary_renders() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wake.resume_ms", MetricKind::Logical);
+        h.record_n(1500, 10);
+        h.record(300);
+        let s = reg.snapshot(MetricKind::Logical).render();
+        assert!(s.contains("\"count\":11"), "{s}");
+        assert!(s.contains("\"min_ms\":300"), "{s}");
+        let mut shard = LatencyHistogram::new();
+        shard.record(40);
+        h.merge(&shard);
+        assert_eq!(h.snapshot().count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dup", MetricKind::Logical);
+        reg.gauge("dup", MetricKind::Logical);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("dup2", MetricKind::Logical);
+        reg.counter("dup2", MetricKind::Timing);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = MetricsRegistry::global();
+        let b = MetricsRegistry::global();
+        let c = a.counter("test.global.cell", MetricKind::Logical);
+        c.add(5);
+        assert!(b.counter("test.global.cell", MetricKind::Logical).get() >= 5);
+    }
+
+    #[test]
+    fn identical_event_streams_snapshot_byte_identically() {
+        // The CI property in miniature: two registries that counted the
+        // same logical events render the same bytes, regardless of
+        // registration or increment order.
+        let run = |order_flipped: bool| {
+            let reg = MetricsRegistry::new();
+            if order_flipped {
+                reg.counter("m.b", MetricKind::Logical).add(2);
+                reg.counter("m.a", MetricKind::Logical).add(40);
+                reg.counter("m.a", MetricKind::Logical).add(2);
+            } else {
+                reg.counter("m.a", MetricKind::Logical).add(42);
+                reg.counter("m.b", MetricKind::Logical).add(2);
+            }
+            reg.snapshot(MetricKind::Logical).render()
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

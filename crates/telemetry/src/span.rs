@@ -1,0 +1,159 @@
+//! Span profiling: scoped wall-clock timers aggregated per phase.
+//!
+//! Control-plane code brackets a phase with
+//! `let _s = spans.span("fleet.churn");` — the guard adds the elapsed
+//! nanoseconds to the named accumulator on drop. Phases that already
+//! measure themselves (the fleet engine times churn/advance/control with
+//! its own `Instant`s) feed pre-measured durations through
+//! [`SpanRecorder::add_ns`]. The aggregate renders as a per-phase time
+//! breakdown with wall-clock shares — strictly a **timing** artifact,
+//! never byte-diffed.
+
+use crate::json::JsonObject;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseTotals {
+    calls: u64,
+    ns: u128,
+}
+
+/// Aggregates named phase timings. Cloning shares the accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    inner: Arc<Mutex<BTreeMap<&'static str, PhaseTotals>>>,
+}
+
+impl SpanRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a scoped timer; the elapsed time lands in `name`'s bucket
+    /// when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            recorder: self.clone(),
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Folds a pre-measured duration into `name`'s bucket.
+    pub fn add_ns(&self, name: &'static str, ns: u128) {
+        let mut inner = self.inner.lock().unwrap();
+        let t = inner.entry(name).or_default();
+        t.calls += 1;
+        t.ns += ns;
+    }
+
+    /// Total nanoseconds across `name`'s calls (0 when never timed).
+    pub fn ns(&self, name: &str) -> u128 {
+        let inner = self.inner.lock().unwrap();
+        inner.get(name).map(|t| t.ns).unwrap_or(0)
+    }
+
+    /// Per-phase `(name, calls, total_ns)` rows in sorted name order.
+    pub fn totals(&self) -> Vec<(String, u64, u128)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .iter()
+            .map(|(name, t)| (name.to_string(), t.calls, t.ns))
+            .collect()
+    }
+
+    /// Sum of all phase buckets in nanoseconds.
+    pub fn total_ns(&self) -> u128 {
+        let inner = self.inner.lock().unwrap();
+        inner.values().map(|t| t.ns).sum()
+    }
+
+    /// Renders the per-phase breakdown: one nested object per phase with
+    /// call count, total milliseconds and share of the recorded total.
+    pub fn to_json(&self) -> JsonObject {
+        let totals = self.totals();
+        let whole: u128 = totals.iter().map(|(_, _, ns)| ns).sum();
+        let mut out = JsonObject::new();
+        for (name, calls, ns) in &totals {
+            let share = if whole == 0 {
+                0.0
+            } else {
+                *ns as f64 / whole as f64
+            };
+            out = out.object(
+                name,
+                &JsonObject::new()
+                    .int("calls", *calls)
+                    .num("ms", *ns as f64 / 1e6)
+                    .num("share", share),
+            );
+        }
+        out
+    }
+}
+
+/// A scoped phase timer; drop it to record the elapsed time.
+#[derive(Debug)]
+pub struct Span {
+    recorder: SpanRecorder,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.recorder
+            .add_ns(self.name, self.start.elapsed().as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_calls_and_time() {
+        let spans = SpanRecorder::new();
+        for _ in 0..3 {
+            let _s = spans.span("phase.a");
+        }
+        spans.add_ns("phase.b", 1_000_000);
+        spans.add_ns("phase.b", 2_000_000);
+        let totals = spans.totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, "phase.a");
+        assert_eq!(totals[0].1, 3);
+        assert_eq!(totals[1], ("phase.b".to_string(), 2, 3_000_000));
+        assert_eq!(spans.ns("phase.b"), 3_000_000);
+        assert!(spans.total_ns() >= 3_000_000);
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let spans = SpanRecorder::new();
+        spans.add_ns("x", 750);
+        spans.add_ns("y", 250);
+        let s = spans.to_json().render();
+        assert!(s.contains("\"share\":0.75"), "{s}");
+        assert!(s.contains("\"share\":0.25"), "{s}");
+    }
+
+    #[test]
+    fn empty_recorder_renders_empty_object() {
+        let spans = SpanRecorder::new();
+        assert_eq!(spans.total_ns(), 0);
+        assert_eq!(spans.ns("missing"), 0);
+        assert_eq!(spans.to_json().render_flat(), "{}");
+    }
+
+    #[test]
+    fn clones_share_the_accumulator() {
+        let a = SpanRecorder::new();
+        let b = a.clone();
+        b.add_ns("shared", 10);
+        assert_eq!(a.ns("shared"), 10);
+    }
+}

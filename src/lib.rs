@@ -16,6 +16,9 @@
 //! * [`system`] — the integrated datacenter model and controllers.
 //! * [`qos`] — request-level QoS: per-request latency replay against the
 //!   run's power timelines, tail percentiles and SLA accounting.
+//! * [`telemetry`] — metrics registry, epoch flight recorder and span
+//!   profiling hooks (logical metrics stay bit-identical across
+//!   execution grids; timing metrics live in a separate artifact).
 //! * [`scenarios`] — the declarative scenario catalog: fleet + workload
 //!   mix + engine + policies (+ an optional `[qos]` request workload) in
 //!   a text format, run through the sweep.
@@ -45,6 +48,7 @@ pub use dds_power as power;
 pub use dds_qos as qos;
 pub use dds_scenarios as scenarios;
 pub use dds_sim_core as sim;
+pub use dds_telemetry as telemetry;
 pub use dds_traces as traces;
 
 /// Commonly used items, re-exported for convenience.
@@ -53,7 +57,8 @@ pub mod prelude {
         run_cluster, run_cluster_policy, run_cluster_policy_with, ClusterOutcome, ClusterSpec,
     };
     pub use dds_core::datacenter::{
-        Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig, WakeRecord,
+        Algorithm, Datacenter, DcConfig, DcEngine, DcEvent, DcOutcome, EngineConfig, WakeCause,
+        WakeRecord,
     };
     pub use dds_core::registry::{PolicyEntry, PolicyRegistry};
     pub use dds_core::sweep::{llmi_grid, run_sweep, run_sweep_with, SweepOutcome, SweepPoint};
